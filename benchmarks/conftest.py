@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures,
+asserts its qualitative shape, times the underlying computation via
+pytest-benchmark, and writes the regenerated rows/series to
+``benchmarks/out/<name>.txt`` so EXPERIMENTS.md can reference concrete
+artifacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def write_artifact(name: str, text: str) -> pathlib.Path:
+    """Persist a regenerated table/figure as a text artifact."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"{name}.txt"
+    path.write_text(text)
+    print(f"\n[{name}] written to {path}\n{text}")
+    return path

@@ -1,0 +1,75 @@
+"""Erasure-coding primitive throughput.
+
+Not a paper table, but the substrate the whole system stands on:
+encode / decode / modify throughput for the Reed-Solomon, XOR-parity,
+and replication codes at realistic block sizes.  pytest-benchmark's
+timing is the artifact here; assertions pin correctness and the
+expected performance ordering (XOR beats field arithmetic).
+"""
+
+import pytest
+
+from repro.erasure import make_code
+
+BLOCK = 64 * 1024  # 64 KiB stripe units
+
+
+def make_stripe(m, size=BLOCK, seed=1):
+    return [bytes((seed + i * 37 + j) % 256 for j in range(size))
+            for i in range(m)]
+
+
+@pytest.mark.parametrize(
+    "kind,m,n",
+    [
+        ("reed-solomon", 5, 8),
+        ("cauchy", 5, 8),
+        ("parity", 4, 5),
+        ("replication", 1, 3),
+    ],
+)
+def test_bench_encode(benchmark, kind, m, n):
+    code = make_code(m, n, kind)
+    stripe = make_stripe(m)
+    encoded = benchmark(code.encode, stripe)
+    assert len(encoded) == n
+    assert encoded[:m] == stripe
+
+
+@pytest.mark.parametrize(
+    "kind,m,n",
+    [("reed-solomon", 5, 8), ("cauchy", 5, 8), ("parity", 4, 5)],
+)
+def test_bench_decode_worst_case(benchmark, kind, m, n):
+    """Decode with the maximum number of data blocks missing."""
+    code = make_code(m, n, kind)
+    stripe = make_stripe(m)
+    encoded = code.encode(stripe)
+    lost = n - m  # every parity pressed into service
+    survivors = {
+        i: encoded[i - 1] for i in range(lost + 1, n + 1)
+    }
+    decoded = benchmark(code.decode, survivors)
+    assert decoded == stripe
+
+
+def test_bench_modify(benchmark):
+    code = make_code(5, 8, "reed-solomon")
+    stripe = make_stripe(5)
+    encoded = code.encode(stripe)
+    new_block = bytes(BLOCK)
+
+    result = benchmark(code.modify, 2, 6, stripe[1], new_block, encoded[5])
+    expected = code.encode([stripe[0], new_block] + stripe[2:])[5]
+    assert result == expected
+
+
+def test_bench_delta_apply(benchmark):
+    code = make_code(5, 8, "reed-solomon")
+    stripe = make_stripe(5)
+    encoded = code.encode(stripe)
+    delta = code.encode_delta(2, stripe[1], bytes(BLOCK))
+
+    result = benchmark(code.apply_delta, 2, 6, delta, encoded[5])
+    expected = code.modify(2, 6, stripe[1], bytes(BLOCK), encoded[5])
+    assert result == expected

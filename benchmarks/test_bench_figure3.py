@@ -1,0 +1,79 @@
+"""Figure 3: storage overhead versus MTTDL requirement at 256 TB.
+
+Regenerates the four curves and asserts the paper's quoted anchors at
+the one-million-year requirement: overhead 4 for replication over R0
+bricks, about 3.2 over R5 bricks, 1.6 for EC(5,8) over R0 bricks, and
+lower still over R5 bricks; plus the headline shape — replication's
+overhead climbs much faster than erasure coding's.
+"""
+
+import pytest
+
+from repro.reliability import (
+    BrickParams,
+    cheapest_erasure_code,
+    cheapest_replication,
+    overhead_curve,
+)
+
+from .conftest import write_artifact
+
+R0 = BrickParams(internal_raid="r0")
+R5 = BrickParams(internal_raid="r5")
+
+CAPACITY_TB = 256.0
+TARGETS = [1e0, 1e2, 1e4, 1e6, 1e8, 1e10, 1e12]
+
+
+def compute_figure3():
+    return {
+        "replication/R0": overhead_curve(TARGETS, CAPACITY_TB, R0, "replication"),
+        "replication/R5": overhead_curve(TARGETS, CAPACITY_TB, R5, "replication"),
+        "EC(5,n)/R0": overhead_curve(TARGETS, CAPACITY_TB, R0, "erasure"),
+        "EC(5,n)/R5": overhead_curve(TARGETS, CAPACITY_TB, R5, "erasure"),
+    }
+
+
+def render(curves) -> str:
+    lines = [f"Figure 3 — storage overhead vs required MTTDL ({CAPACITY_TB:.0f} TB)"]
+    lines.append("required years".ljust(20) + "".join(f"{t:>10.0e}" for t in TARGETS))
+    for name, points in curves.items():
+        by_target = {p.required_mttdl_years: p for p in points}
+        cells = []
+        for target in TARGETS:
+            point = by_target.get(target)
+            cells.append(f"{point.overhead:>10.2f}" if point else f"{'—':>10}")
+        lines.append(name.ljust(20) + "".join(cells))
+    lines.append("")
+    lines.append("configs at 1e6 years:")
+    for name, points in curves.items():
+        for point in points:
+            if point.required_mttdl_years == 1e6:
+                lines.append(f"  {name:18s} -> {point.config} "
+                             f"(overhead {point.overhead:.2f})")
+    return "\n".join(lines) + "\n"
+
+
+def test_bench_figure3(benchmark):
+    curves = benchmark(compute_figure3)
+    write_artifact("figure3_overhead_vs_mttdl", render(curves))
+
+    # Paper anchors at the million-year requirement.
+    rep_r0 = cheapest_replication(1e6, CAPACITY_TB, R0)
+    rep_r5 = cheapest_replication(1e6, CAPACITY_TB, R5)
+    ec_r0 = cheapest_erasure_code(1e6, CAPACITY_TB, R0)
+    ec_r5 = cheapest_erasure_code(1e6, CAPACITY_TB, R5)
+    assert rep_r0.overhead == pytest.approx(4.0)
+    assert 3.0 < rep_r5.overhead < 3.5  # the paper's "approximately 3.2"
+    assert ec_r0.overhead == pytest.approx(1.6)  # EC(5,8)
+    assert ec_r5.overhead < 1.6  # "yet lower with RAID-5 bricks"
+
+    # Shape: every curve is monotone, and replication rises much faster.
+    for name, points in curves.items():
+        overheads = [p.overhead for p in points]
+        assert overheads == sorted(overheads), name
+    rep_curve = [p.overhead for p in curves["replication/R0"]]
+    ec_curve = [p.overhead for p in curves["EC(5,n)/R0"]]
+    assert rep_curve[-1] / ec_curve[-1] > 2.0
+    for rep_value, ec_value in zip(rep_curve, ec_curve):
+        assert ec_value <= rep_value

@@ -1,0 +1,65 @@
+"""Garbage collection (Section 5.1): log growth with and without GC.
+
+The correctness argument lets each replica keep only the newest
+complete write; the asynchronous GC notice after each full-quorum write
+realizes that.  This bench writes a long stream of stripes and tracks
+the high-water mark of replica log sizes with GC off and on, plus the
+stable-storage footprint.
+"""
+
+import pytest
+
+from tests.conftest import make_cluster, stripe_of
+
+from .conftest import write_artifact
+
+M, N, B = 3, 5, 256
+WRITES = 40
+
+
+def run(gc_enabled):
+    cluster = make_cluster(m=M, n=N, block_size=B, gc_enabled=gc_enabled)
+    register = cluster.register(0)
+    high_water = []
+    for tag in range(WRITES):
+        register.write_stripe(stripe_of(M, B, tag))
+        cluster.run(until=cluster.env.now + 10)  # let GC notices land
+        high_water.append(cluster.gc.high_water_mark(0))
+    footprint = sum(
+        node.stable.size_bytes() for node in cluster.nodes.values()
+    )
+    last = stripe_of(M, B, WRITES - 1)
+    assert cluster.register(0, coordinator_pid=2).read_stripe() == last
+    return high_water, footprint
+
+
+def run_both():
+    return {"off": run(False), "on": run(True)}
+
+
+def render(results) -> str:
+    off_curve, off_bytes = results["off"]
+    on_curve, on_bytes = results["on"]
+    lines = [f"Log growth over {WRITES} stripe writes (m={M}, n={N})"]
+    lines.append(f"{'write#':>8s}{'log (GC off)':>14s}{'log (GC on)':>14s}")
+    for index in range(0, WRITES, 5):
+        lines.append(
+            f"{index:>8d}{off_curve[index]:>14d}{on_curve[index]:>14d}"
+        )
+    lines.append(f"{'final':>8s}{off_curve[-1]:>14d}{on_curve[-1]:>14d}")
+    lines.append(f"stable-store bytes: GC off = {off_bytes}, GC on = {on_bytes}")
+    return "\n".join(lines) + "\n"
+
+
+def test_bench_gc(benchmark):
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    write_artifact("gc_log_growth", render(results))
+
+    off_curve, off_bytes = results["off"]
+    on_curve, on_bytes = results["on"]
+    # Without GC, logs grow linearly with the write count.
+    assert off_curve[-1] >= WRITES
+    # With GC, logs stay O(1).
+    assert max(on_curve) <= 3
+    # And the storage footprint shrinks accordingly.
+    assert on_bytes < off_bytes / 5

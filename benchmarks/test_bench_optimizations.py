@@ -1,0 +1,65 @@
+"""Section 5.2 optimizations: network bandwidth of block writes.
+
+The paper lists two straightforward bandwidth reductions for
+block-level writes: (a) ship blocks only to p_j and the parity
+processes (our Write messages already carry only the destination's own
+block), and (b) send a single coded delta to each parity process
+instead of the old and new block values.  This bench measures (b):
+bytes moved per block write with Modify carrying old+new versus a
+delta, across stripe geometries.
+"""
+
+import pytest
+
+from tests.conftest import block_of, make_cluster, stripe_of
+
+from .conftest import write_artifact
+
+B = 1024
+GEOMETRIES = [(3, 6), (5, 8), (5, 9)]
+
+
+def measure(m, n, delta_updates):
+    cluster = make_cluster(m=m, n=n, block_size=B,
+                           delta_updates=delta_updates)
+    register = cluster.register(0)
+    register.write_stripe(stripe_of(m, B, tag=1))
+    register.write_block(2, block_of(B, tag=2))
+    row = cluster.metrics.summary()["write-block/fast"]
+    return row["bytes"]
+
+
+def run_all():
+    results = {}
+    for m, n in GEOMETRIES:
+        results[(m, n)] = {
+            "plain": measure(m, n, delta_updates=False),
+            "delta": measure(m, n, delta_updates=True),
+        }
+    return results
+
+
+def render(results) -> str:
+    lines = ["Section 5.2(b): block-write bandwidth, old+new vs coded delta"]
+    lines.append(
+        f"{'code':>10s}{'old+new B':>14s}{'delta B':>12s}{'saving':>10s}"
+    )
+    for (m, n), row in results.items():
+        saving = 1 - row["delta"] / row["plain"]
+        lines.append(
+            f"{f'EC({m},{n})':>10s}{row['plain']:>14.0f}"
+            f"{row['delta']:>12.0f}{saving:>10.1%}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def test_bench_delta_updates(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    write_artifact("section52_delta_bandwidth", render(results))
+    for (m, n), row in results.items():
+        # Analytic: plain = (2n+1)B; delta = (n+2)B (one delta per
+        # process plus the new block to p_j plus the read-back block).
+        assert row["plain"] == (2 * n + 1) * B
+        assert row["delta"] < row["plain"]
+        saving = 1 - row["delta"] / row["plain"]
+        assert saving > 0.3

@@ -1,0 +1,97 @@
+"""Volume-level throughput across workload mixes and access patterns.
+
+Not a paper artifact, but the workload-sensitivity picture the paper's
+Section 1.2 sketches verbally: erasure-coded volumes shine on
+read-heavy workloads (fast 2δ reads) and pay the read-modify-write tax
+on small writes (4δ + k+1 disk ops).  The bench sweeps the read
+fraction and access pattern on a 5-of-8 volume and reports throughput
+and mean latency per mix.
+"""
+
+import pytest
+
+from repro import LogicalVolume
+from repro.analysis.latency import latency_stats
+from repro.workloads import (
+    HotspotPattern,
+    SequentialPattern,
+    TraceReplayer,
+    UniformPattern,
+    ZipfPattern,
+    synthesize_trace,
+)
+from tests.conftest import make_cluster
+
+from .conftest import write_artifact
+
+OPS = 150
+
+
+def run_mix(read_fraction, pattern, label):
+    cluster = make_cluster(m=5, n=8, block_size=512, seed=17)
+    volume = LogicalVolume(cluster, num_stripes=16)
+    trace = synthesize_trace(
+        OPS, volume.num_blocks, read_fraction=read_fraction,
+        mean_interarrival=1.0, pattern=pattern, seed=17,
+    )
+    stats = TraceReplayer(volume).replay(trace)
+    latency = latency_stats(cluster.metrics)
+    return {
+        "label": label,
+        "read_fraction": read_fraction,
+        "throughput": stats.throughput,
+        "mean_latency": latency.mean,
+        "p99_latency": latency.p99,
+        "aborts": stats.aborts,
+    }
+
+
+def run_all():
+    rows = []
+    for read_fraction in (1.0, 0.9, 0.5, 0.0):
+        rows.append(
+            run_mix(read_fraction, UniformPattern(), f"uniform r={read_fraction}")
+        )
+    rows.append(run_mix(0.7, ZipfPattern(1.1, seed=3), "zipf r=0.7"))
+    rows.append(run_mix(0.7, HotspotPattern(0.1, 0.9), "hotspot r=0.7"))
+    rows.append(run_mix(0.7, SequentialPattern(), "sequential r=0.7"))
+    return rows
+
+
+def render(rows) -> str:
+    lines = [f"Volume throughput, EC(5,8), {OPS} ops per mix"]
+    lines.append(
+        f"{'mix':>20s}{'tput':>8s}{'mean lat':>10s}{'p99 lat':>9s}"
+        f"{'aborts':>8s}"
+    )
+    for row in rows:
+        lines.append(
+            f"{row['label']:>20s}{row['throughput']:>8.3f}"
+            f"{row['mean_latency']:>10.2f}{row['p99_latency']:>9.2f}"
+            f"{row['aborts']:>8d}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def test_bench_volume_throughput(benchmark):
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    write_artifact("volume_throughput", render(rows))
+    by_label = {row["label"]: row for row in rows}
+
+    # Pure reads are the fastest mix; pure writes the slowest.
+    assert (
+        by_label["uniform r=1.0"]["mean_latency"]
+        < by_label["uniform r=0.0"]["mean_latency"]
+    )
+    assert (
+        by_label["uniform r=1.0"]["throughput"]
+        >= by_label["uniform r=0.0"]["throughput"]
+    )
+    # Latency degrades monotonically as writes increase.
+    latencies = [
+        by_label[f"uniform r={r}"]["mean_latency"] for r in (1.0, 0.9, 0.5, 0.0)
+    ]
+    assert latencies == sorted(latencies)
+    # Sequential single-client traffic has no conflicts: no aborts.
+    for row in rows:
+        assert row["aborts"] == 0, row["label"]

@@ -1,0 +1,75 @@
+"""repro — reproduction of "A Decentralized Algorithm for Erasure-Coded
+Virtual Disks" (Frølund, Merchant, Saito, Spence, Veitch; DSN 2004).
+
+The package implements the paper's storage-register protocol — fully
+decentralized, strictly linearizable read/write access to erasure-coded
+stripes over crash-recovery bricks — together with every substrate it
+depends on: Reed-Solomon / parity erasure coding over GF(2^8), m-quorum
+systems, a deterministic discrete-event simulation of the asynchronous
+fair-loss system model, replication baselines, a strict-linearizability
+checker, and the analytic reliability and cost models behind the paper's
+Figures 2-3 and Table 1.
+
+Quickstart::
+
+    from repro import ClusterConfig, FabCluster
+
+    cluster = FabCluster(ClusterConfig(m=3, n=5, block_size=512))
+    register = cluster.register(0)
+    register.write_stripe([b"x" * 512] * 3)
+    cluster.crash(4)                       # a brick fails...
+    assert register.read_stripe()[0] == b"x" * 512   # ...data survives
+
+Subpackages:
+
+* :mod:`repro.core` — the protocol (Algorithms 1-3), cluster, volumes.
+* :mod:`repro.erasure` — encode / decode / modify primitives.
+* :mod:`repro.quorum` — m-quorum systems and Theorem 2.
+* :mod:`repro.sim` — event loop, fair-loss network, crash-recovery nodes.
+* :mod:`repro.baselines` — LS97-style replication, centralized RAID.
+* :mod:`repro.verify` — (strict) linearizability checking.
+* :mod:`repro.reliability` — MTTDL / storage-overhead models (Figs 2-3).
+* :mod:`repro.analysis` — Table 1 cost model, analytic vs measured.
+* :mod:`repro.workloads` — synthetic workload generators.
+"""
+
+from .core import (
+    ClusterConfig,
+    Coordinator,
+    FabCluster,
+    LogicalVolume,
+    Replica,
+    RetryingClient,
+    RetryPolicy,
+    StorageRegister,
+)
+from .erasure import ErasureCode, make_code
+from .quorum import MajorityMQuorumSystem, mquorum_exists
+from .timestamps import HIGH_TS, LOW_TS, Timestamp, TimestampSource
+from .types import ABORT, NIL, Block, StripeConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FabCluster",
+    "ClusterConfig",
+    "StorageRegister",
+    "LogicalVolume",
+    "RetryingClient",
+    "RetryPolicy",
+    "Coordinator",
+    "Replica",
+    "ErasureCode",
+    "make_code",
+    "MajorityMQuorumSystem",
+    "mquorum_exists",
+    "Timestamp",
+    "TimestampSource",
+    "LOW_TS",
+    "HIGH_TS",
+    "ABORT",
+    "NIL",
+    "Block",
+    "StripeConfig",
+    "__version__",
+]

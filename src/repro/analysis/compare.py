@@ -1,0 +1,97 @@
+"""Analytic-versus-measured cost comparison.
+
+Maps measured operation groups (from
+:meth:`repro.sim.monitor.Metrics.summary`) onto the analytic rows of
+:mod:`repro.analysis.costs` and reports side-by-side numbers plus
+relative deviation.  This backs the Table 1 benchmark: the simulator
+should land exactly on the analytic message counts / round trips in
+failure-free runs, and on the disk-I/O counts up to the paper's
+pessimistic accounting assumptions (documented per-row in
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .costs import CostRow
+
+__all__ = ["ComparisonRow", "compare_table1", "MEASURED_TO_ANALYTIC"]
+
+#: Measured metric-group label -> analytic cost-row key.
+MEASURED_TO_ANALYTIC: Dict[str, str] = {
+    "read-stripe/fast": "stripe-read/F",
+    "read-stripe/slow": "stripe-read/S",
+    "write-stripe/fast": "stripe-write",
+    "read-block/fast": "block-read/F",
+    "read-block/slow": "block-read/S",
+    "write-block/fast": "block-write/F",
+    "write-block/slow": "block-write/S",
+    "ls97-read/fast": "read",
+    "ls97-write/fast": "write",
+}
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """Side-by-side analytic vs measured values for one operation."""
+
+    operation: str
+    metric: str
+    analytic: float
+    measured: float
+
+    @property
+    def deviation(self) -> float:
+        """Relative deviation of measured from analytic (0.0 = exact)."""
+        if self.analytic == 0:
+            return 0.0 if self.measured == 0 else float("inf")
+        return abs(self.measured - self.analytic) / self.analytic
+
+    def __str__(self) -> str:
+        return (
+            f"{self.operation:16s} {self.metric:12s} "
+            f"analytic={self.analytic:10.1f} measured={self.measured:10.1f} "
+            f"dev={self.deviation * 100:6.1f}%"
+        )
+
+
+def compare_table1(
+    analytic: Dict[str, CostRow],
+    measured_summary: Dict[str, Dict[str, float]],
+    metrics: Optional[List[str]] = None,
+) -> List[ComparisonRow]:
+    """Build comparison rows for every measured group with an analytic twin.
+
+    Args:
+        analytic: cost rows keyed as in :func:`repro.analysis.costs.our_costs`
+            (or ``ls97_costs``).
+        measured_summary: output of ``Metrics.summary()``.
+        metrics: which metrics to compare; defaults to all five.
+    """
+    if metrics is None:
+        metrics = ["latency_delta", "messages", "disk_reads", "disk_writes", "bytes"]
+    attribute_of = {
+        "latency_delta": "latency_delta",
+        "messages": "messages",
+        "disk_reads": "disk_reads",
+        "disk_writes": "disk_writes",
+        "bytes": "bandwidth",
+    }
+    rows: List[ComparisonRow] = []
+    for label, summary in sorted(measured_summary.items()):
+        key = MEASURED_TO_ANALYTIC.get(label)
+        if key is None or key not in analytic:
+            continue
+        cost = analytic[key]
+        for metric in metrics:
+            rows.append(
+                ComparisonRow(
+                    operation=key,
+                    metric=metric,
+                    analytic=float(getattr(cost, attribute_of[metric])),
+                    measured=float(summary[metric]),
+                )
+            )
+    return rows

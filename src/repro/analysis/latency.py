@@ -1,0 +1,104 @@
+"""Latency distribution analysis over recorded operations.
+
+:class:`~repro.sim.monitor.Metrics` keeps every finished operation's
+simulated duration; this module turns those into the distribution
+statistics performance sections are made of — percentiles, means, and
+per-path breakdowns — without pulling in scipy for a handful of order
+statistics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ConfigurationError
+from ..sim.monitor import Metrics, OpMetrics
+
+__all__ = ["LatencyStats", "latency_stats", "latency_by_group", "percentile"]
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) with linear interpolation.
+
+    Raises:
+        ConfigurationError: on an empty sample set or ``q`` out of range.
+    """
+    if not samples:
+        raise ConfigurationError("percentile of an empty sample set")
+    if not 0.0 <= q <= 100.0:
+        raise ConfigurationError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    fraction = rank - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary statistics of one latency sample set."""
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    max: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.2f} p50={self.p50:.2f} "
+            f"p90={self.p90:.2f} p99={self.p99:.2f} max={self.max:.2f}"
+        )
+
+
+def _stats(samples: List[float]) -> LatencyStats:
+    return LatencyStats(
+        count=len(samples),
+        mean=sum(samples) / len(samples),
+        p50=percentile(samples, 50),
+        p90=percentile(samples, 90),
+        p99=percentile(samples, 99),
+        max=max(samples),
+    )
+
+
+def latency_stats(
+    metrics: Metrics, kind: Optional[str] = None, include_aborted: bool = False
+) -> Optional[LatencyStats]:
+    """Distribution of operation durations recorded in ``metrics``.
+
+    Args:
+        kind: restrict to one operation kind (e.g. ``"read-stripe"``).
+        include_aborted: count aborted operations' durations too.
+
+    Returns:
+        Stats, or ``None`` if no matching operations finished.
+    """
+    samples = [
+        op.latency
+        for op in metrics.operations
+        if op.latency is not None
+        and (kind is None or op.kind == kind)
+        and (include_aborted or not op.aborted)
+    ]
+    if not samples:
+        return None
+    return _stats(samples)
+
+
+def latency_by_group(metrics: Metrics) -> Dict[str, LatencyStats]:
+    """Latency stats per ``kind/path`` group (cf. ``Metrics.summary``)."""
+    groups: Dict[str, List[float]] = {}
+    for op in metrics.operations:
+        if op.latency is None:
+            continue
+        groups.setdefault(f"{op.kind}/{op.path}", []).append(op.latency)
+    return {label: _stats(samples) for label, samples in groups.items()}

@@ -1,0 +1,25 @@
+"""Baseline algorithms the paper compares against.
+
+* :mod:`repro.baselines.ls97` — a quorum-replicated atomic register in
+  the style of Lynch & Shvartsman [9] (two-phase reads *and* writes over
+  majority quorums of full replicas).  This is the right-hand column of
+  Table 1.
+* :mod:`repro.baselines.abd` — the Attiya-Bar-Noy-Dolev single-writer
+  variant (writes skip the query phase), the classic lower-cost point
+  when concurrency is restricted.
+* :mod:`repro.baselines.central` — a centralized erasure-coding
+  controller with oracle failure detection, i.e. a traditional disk
+  array controller transplanted onto the network.  Cheap (one round
+  trip) but: a single point of failure, and unsafe exactly when failure
+  detection is wrong — the comparison motivating the paper's Section 1.3.
+
+All baselines run on the same simulation substrate and report into the
+same :class:`~repro.sim.monitor.Metrics`, so cost comparisons are
+apples-to-apples.
+"""
+
+from .abd import AbdCluster
+from .central import CentralController
+from .ls97 import Ls97Cluster
+
+__all__ = ["Ls97Cluster", "AbdCluster", "CentralController"]

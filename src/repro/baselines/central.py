@@ -1,0 +1,272 @@
+"""Centralized erasure-coding controller (the disk-array strawman).
+
+Traditional disk arrays put one controller in front of the storage
+devices and give it *accurate* failure detection (devices share the
+controller's chassis and bus).  Section 1.3 explains why this model
+breaks in FAB: over a shared network a controller cannot distinguish
+slow from dead, and the controller is itself a single point of failure.
+
+This baseline transplants that model onto the simulated network so the
+experiments can show both sides:
+
+* **cost** — with an oracle failure detector and no quorums, reads cost
+  ``2δ`` and ``2m`` messages; writes ``2δ`` and ``2n`` messages: cheaper
+  than any decentralized protocol (the ablation bench quantifies the
+  gap);
+* **fragility** — :meth:`CentralController.set_oracle_wrong` lets tests
+  demonstrate the Amiri/Gibson/Golding-style data-loss scenario the
+  paper describes (a false failure verdict plus one real failure makes
+  data unreconstructable), and a controller crash halts the system.
+
+The controller keeps per-device "suspected failed" state; with the
+oracle enabled it always matches reality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..erasure.interface import ErasureCode
+from ..erasure.registry import make_code
+from ..errors import CodingError
+from ..sim.kernel import Environment
+from ..sim.monitor import Metrics
+from ..sim.network import Network, NetworkConfig
+from ..sim.node import Node
+from ..types import ABORT, Block, ProcessId
+
+__all__ = ["CentralController", "CentralConfig"]
+
+OK = "OK"
+
+
+@dataclass(frozen=True)
+class DevReadReq:
+    register_id: int
+    request_id: int
+
+    @property
+    def size(self) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class DevReadReply:
+    register_id: int
+    request_id: int
+    block: Optional[Block]
+
+    @property
+    def size(self) -> int:
+        return len(self.block) if self.block is not None else 0
+
+
+@dataclass(frozen=True)
+class DevWriteReq:
+    register_id: int
+    request_id: int
+    block: Block
+
+    @property
+    def size(self) -> int:
+        return len(self.block)
+
+
+@dataclass(frozen=True)
+class DevWriteReply:
+    register_id: int
+    request_id: int
+
+    @property
+    def size(self) -> int:
+        return 0
+
+
+class _Device:
+    """A dumb storage device: read/write one block per register."""
+
+    def __init__(self, node: Node) -> None:
+        self.node = node
+        node.register_handler(DevReadReq, self._on_read)
+        node.register_handler(DevWriteReq, self._on_write)
+
+    def _on_read(self, src: ProcessId, req: DevReadReq) -> None:
+        block = self.node.stable.load(f"blk:{req.register_id}")
+        if block is not None:
+            self.node.metrics.count_disk_read()
+        self.node.send(
+            src,
+            DevReadReply(req.register_id, req.request_id, block),
+            size=len(block) if block is not None else 0,
+        )
+
+    def _on_write(self, src: ProcessId, req: DevWriteReq) -> None:
+        self.node.stable.store(f"blk:{req.register_id}", req.block)
+        self.node.metrics.count_disk_write()
+        self.node.send(src, DevWriteReply(req.register_id, req.request_id), size=0)
+
+
+@dataclass
+class CentralConfig:
+    """Configuration for the centralized-controller baseline."""
+
+    m: int = 3
+    n: int = 5
+    block_size: int = 1024
+    code_kind: str = "auto"
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    reply_timeout: float = 50.0
+
+
+class CentralController:
+    """One controller (process id ``n + 1``) over ``n`` devices.
+
+    The controller waits for replies only from devices its failure
+    detector believes are alive; with the oracle (default) that belief
+    is always correct.
+    """
+
+    def __init__(self, config: Optional[CentralConfig] = None) -> None:
+        self.config = config or CentralConfig()
+        cfg = self.config
+        self.env = Environment()
+        self.metrics = Metrics()
+        self.network = Network(self.env, cfg.network, self.metrics)
+        self.code: ErasureCode = make_code(cfg.m, cfg.n, cfg.code_kind)
+        self.devices: Dict[ProcessId, Node] = {}
+        for pid in range(1, cfg.n + 1):
+            node = Node(self.env, self.network, pid, self.metrics)
+            _Device(node)
+            self.devices[pid] = node
+        self.controller = Node(self.env, self.network, cfg.n + 1, self.metrics)
+        self.controller.register_handler(DevReadReply, self._on_reply)
+        self.controller.register_handler(DevWriteReply, self._on_reply)
+        self._pending: Dict[int, dict] = {}
+        self._next_id = 1
+        self._oracle = True
+        self._believed_failed: Set[ProcessId] = set()
+
+    # -- failure detection ------------------------------------------------------
+
+    def set_oracle_wrong(self, believed_failed: Set[ProcessId]) -> None:
+        """Disable the oracle and force a (possibly wrong) failure view.
+
+        This reproduces the inaccurate-failure-detection hazard of
+        Section 1.3 / the [2] comparison in Section 6.
+        """
+        self._oracle = False
+        self._believed_failed = set(believed_failed)
+
+    def _alive_view(self) -> List[ProcessId]:
+        if self._oracle:
+            return [pid for pid, node in self.devices.items() if node.is_up]
+        return [
+            pid for pid in self.devices if pid not in self._believed_failed
+        ]
+
+    # -- request/reply plumbing -----------------------------------------------------
+
+    def _on_reply(self, src: ProcessId, reply) -> None:
+        pending = self._pending.get(reply.request_id)
+        if pending is None or pending["done"]:
+            return
+        pending["replies"][src] = reply
+        if len(pending["replies"]) >= pending["need"]:
+            pending["done"] = True
+            pending["event"].succeed(dict(pending["replies"]))
+
+    def _gather(self, targets: List[ProcessId], make_request, need: int):
+        request_id = self._next_id
+        self._next_id += 1
+        pending = {
+            "replies": {},
+            "event": self.env.event(),
+            "done": False,
+            "need": need,
+        }
+        self._pending[request_id] = pending
+        for dst in targets:
+            request = make_request(dst, request_id)
+            self.controller.send(dst, request, size=request.size)
+        deadline = self.env.timeout(self.config.reply_timeout)
+
+        def expire(_t) -> None:
+            if not pending["done"]:
+                pending["done"] = True
+                pending["event"].succeed(dict(pending["replies"]))
+
+        deadline._add_callback(expire)
+        replies = yield pending["event"]
+        del self._pending[request_id]
+        self.metrics.count_round_trip()
+        return replies
+
+    # -- I/O ------------------------------------------------------------------------
+
+    def write_stripe(self, register_id: int, stripe: List[Block]):
+        """Encode and store a stripe on all believed-alive devices."""
+        op = self.metrics.begin_op("central-write", self.env.now)
+        encoded = self.code.encode(stripe)
+        targets = self._alive_view()
+
+        def make(dst: ProcessId, rid: int) -> DevWriteReq:
+            return DevWriteReq(register_id, rid, encoded[dst - 1])
+
+        process = self.controller.spawn(
+            self._gather(targets, make, need=len(targets))
+        )
+        replies = self.env.run_until_complete(process)
+        self.metrics.end_op(op, self.env.now, aborted=len(replies) < len(targets))
+        if len(replies) < len(targets):
+            return ABORT
+        return OK
+
+    def read_stripe(self, register_id: int):
+        """Read from ``m`` believed-alive devices and decode.
+
+        Raises:
+            CodingError: when the controller's failure view leaves fewer
+                than ``m`` reachable blocks — the data-loss scenario.
+        """
+        op = self.metrics.begin_op("central-read", self.env.now)
+        targets = self._alive_view()[: self.code.m]
+        if len(targets) < self.code.m:
+            self.metrics.end_op(op, self.env.now, aborted=True)
+            raise CodingError(
+                f"only {len(targets)} devices believed alive; need m={self.code.m}"
+            )
+
+        def make(dst: ProcessId, rid: int) -> DevReadReq:
+            return DevReadReq(register_id, rid)
+
+        process = self.controller.spawn(
+            self._gather(targets, make, need=len(targets))
+        )
+        replies = self.env.run_until_complete(process)
+        blocks = {
+            pid: reply.block
+            for pid, reply in replies.items()
+            if reply.block is not None
+        }
+        if len(blocks) < self.code.m:
+            self.metrics.end_op(op, self.env.now, aborted=True)
+            if all(reply.block is None for reply in replies.values()) and len(
+                replies
+            ) >= self.code.m:
+                return None  # never written
+            raise CodingError(
+                f"could not collect m={self.code.m} blocks "
+                f"(got {len(blocks)}): data lost or devices unreachable"
+            )
+        self.metrics.end_op(op, self.env.now)
+        stripe = self.code.decode(blocks)
+        return stripe
+
+    def crash_device(self, pid: ProcessId) -> None:
+        """Really crash a device."""
+        self.devices[pid].crash()
+
+    def crash_controller(self) -> None:
+        """Crash the controller — the single point of failure."""
+        self.controller.crash()

@@ -1,0 +1,199 @@
+"""Command-line experiment runner.
+
+Regenerates the paper's artifacts without going through pytest::
+
+    python -m repro.cli figure2                # MTTDL vs capacity
+    python -m repro.cli figure3 --capacity 256 # overhead vs MTTDL
+    python -m repro.cli table1 --n 5 --m 3     # analytic + measured costs
+    python -m repro.cli demo                   # the quickstart scenario
+    python -m repro.cli scrub --stripes 8      # scrub/rebuild walkthrough
+
+Each subcommand prints the same rows the corresponding benchmark writes
+to ``benchmarks/out/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.compare import MEASURED_TO_ANALYTIC
+from .analysis.costs import ls97_costs, our_costs
+from .core.cluster import ClusterConfig, FabCluster
+from .core.rebuild import Rebuilder, Scrubber
+from .reliability import (
+    BrickParams,
+    ErasureCodedSystem,
+    ReplicationSystem,
+    StripingSystem,
+    overhead_curve,
+)
+
+__all__ = ["main"]
+
+
+def _figure2(args: argparse.Namespace) -> int:
+    r0 = BrickParams(internal_raid="r0")
+    r5 = BrickParams(internal_raid="r5")
+    reliable = BrickParams(internal_raid="r5", reliable_array=True)
+    systems = [
+        ("striping/reliable-R5", StripingSystem(brick=reliable)),
+        ("4-way-replication/R0", ReplicationSystem(brick=r0, replicas=4)),
+        ("4-way-replication/R5", ReplicationSystem(brick=r5, replicas=4)),
+        ("EC(5,8)/R0", ErasureCodedSystem(brick=r0, m=5, n=8)),
+        ("EC(5,8)/R5", ErasureCodedSystem(brick=r5, m=5, n=8)),
+    ]
+    capacities = args.capacities
+    print("Figure 2 — MTTDL (years) vs logical capacity (TB)")
+    print("system".ljust(24) + "".join(f"{c:>11g}" for c in capacities))
+    for name, system in systems:
+        cells = "".join(
+            f"{system.mttdl_years(c):>11.2e}" for c in capacities
+        )
+        print(name.ljust(24) + cells)
+    return 0
+
+
+def _figure3(args: argparse.Namespace) -> int:
+    r0 = BrickParams(internal_raid="r0")
+    r5 = BrickParams(internal_raid="r5")
+    targets = [10.0**e for e in range(0, 13, 2)]
+    print(f"Figure 3 — storage overhead vs required MTTDL "
+          f"({args.capacity:.0f} TB)")
+    print("scheme".ljust(20) + "".join(f"{t:>10.0e}" for t in targets))
+    for name, brick, scheme in [
+        ("replication/R0", r0, "replication"),
+        ("replication/R5", r5, "replication"),
+        ("EC(5,n)/R0", r0, "erasure"),
+        ("EC(5,n)/R5", r5, "erasure"),
+    ]:
+        points = {
+            p.required_mttdl_years: p
+            for p in overhead_curve(targets, args.capacity, brick, scheme)
+        }
+        cells = []
+        for target in targets:
+            point = points.get(target)
+            cells.append(f"{point.overhead:>10.2f}" if point else f"{'—':>10}")
+        print(name.ljust(20) + "".join(cells))
+    return 0
+
+
+def _table1(args: argparse.Namespace) -> int:
+    n, m, block = args.n, args.m, args.block_size
+    cluster = FabCluster(ClusterConfig(m=m, n=n, block_size=block))
+    register = cluster.register(0)
+    stripe = [bytes([65 + i]) * block for i in range(m)]
+    register.write_stripe(stripe)
+    register.read_stripe()
+    register.read_block(1)
+    register.write_block(1, bytes([90]) * block)
+    measured = cluster.metrics.summary()
+    analytic = our_costs(n, m, block)
+    analytic.update(ls97_costs(n, block))
+    print(f"Table 1 — n={n}, m={m}, k={n - m}, B={block}")
+    print(f"{'operation':18s}{'δ':>6s}{'msgs':>8s}{'diskR':>8s}"
+          f"{'diskW':>8s}{'bytes':>10s}")
+    for label in sorted(measured):
+        key = MEASURED_TO_ANALYTIC.get(label)
+        row = measured[label]
+        suffix = f"  (analytic: {key})" if key else ""
+        print(
+            f"{label:18s}{row['latency_delta']:>6.0f}{row['messages']:>8.0f}"
+            f"{row['disk_reads']:>8.0f}{row['disk_writes']:>8.0f}"
+            f"{row['bytes']:>10.0f}{suffix}"
+        )
+    return 0
+
+
+def _demo(args: argparse.Namespace) -> int:
+    cluster = FabCluster(
+        ClusterConfig(m=args.m, n=args.n, block_size=args.block_size)
+    )
+    register = cluster.register(0)
+    stripe = [bytes([65 + i]) * args.block_size for i in range(args.m)]
+    print(f"cluster: {cluster}")
+    print("write-stripe:", register.write_stripe(stripe))
+    print("read-stripe matches:", register.read_stripe() == stripe)
+    victim = args.n
+    cluster.crash(victim)
+    print(f"crashed brick {victim}; read still matches:",
+          register.read_stripe() == stripe)
+    cluster.recover(victim)
+    print(f"recovered brick {victim}; write:",
+          register.write_stripe(list(reversed(stripe))))
+    return 0
+
+
+def _scrub(args: argparse.Namespace) -> int:
+    cluster = FabCluster(ClusterConfig(m=3, n=5, block_size=64))
+    stripes = args.stripes
+    for register_id in range(stripes):
+        cluster.register(register_id).write_stripe(
+            [bytes([register_id + 1]) * 64] * 3
+        )
+    cluster.crash(4)
+    for register_id in range(stripes):
+        cluster.register(register_id).write_stripe(
+            [bytes([100 + register_id]) * 64] * 3
+        )
+    cluster.recover(4)
+    scrubber = Scrubber(cluster)
+    stale = scrubber.stale_registers(range(stripes))
+    print(f"after brick 4 missed {stripes} writes: {len(stale)} stale registers")
+    report = Rebuilder(cluster).rebuild(range(stripes))
+    print(f"rebuild: repaired={report.repaired} current="
+          f"{report.already_current} aborted={report.aborted}")
+    print("stale after rebuild:",
+          len(scrubber.stale_registers(range(stripes))))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate artifacts from the DSN'04 erasure-coded "
+                    "virtual disks paper.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    figure2 = subparsers.add_parser("figure2", help="MTTDL vs capacity")
+    figure2.add_argument(
+        "--capacities", type=float, nargs="+",
+        default=[1, 10, 100, 1000],
+    )
+    figure2.set_defaults(func=_figure2)
+
+    figure3 = subparsers.add_parser("figure3", help="overhead vs MTTDL")
+    figure3.add_argument("--capacity", type=float, default=256.0)
+    figure3.set_defaults(func=_figure3)
+
+    table1 = subparsers.add_parser("table1", help="protocol costs")
+    table1.add_argument("--n", type=int, default=5)
+    table1.add_argument("--m", type=int, default=3)
+    table1.add_argument("--block-size", type=int, default=1024)
+    table1.set_defaults(func=_table1)
+
+    demo = subparsers.add_parser("demo", help="cluster walkthrough")
+    demo.add_argument("--n", type=int, default=5)
+    demo.add_argument("--m", type=int, default=3)
+    demo.add_argument("--block-size", type=int, default=512)
+    demo.set_defaults(func=_demo)
+
+    scrub = subparsers.add_parser("scrub", help="scrub/rebuild walkthrough")
+    scrub.add_argument("--stripes", type=int, default=6)
+    scrub.set_defaults(func=_scrub)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

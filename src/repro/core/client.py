@@ -1,0 +1,109 @@
+"""A retrying client for storage registers.
+
+The protocol surfaces conflicts as aborts (the paper's ⊥) and leaves
+retry policy to the caller — correctly so, since an aborted write may
+or may not have taken effect and only the application knows whether
+blind re-execution is acceptable (it is for idempotent block writes,
+the overwhelmingly common storage case).
+
+:class:`RetryingClient` packages the standard policy: retry aborted
+operations a bounded number of times with simulated-time backoff.
+Retrying a write is safe here because a write is idempotent at equal
+value — re-running it can only move the register *to* the intended
+value; strict linearizability guarantees the retries appear as a single
+chain of atomic operations.  Reads are retried trivially.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ConfigurationError
+from ..types import ABORT, Block
+from .register import StorageRegister
+
+__all__ = ["RetryPolicy", "RetryingClient"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with linear backoff.
+
+    Attributes:
+        attempts: total tries (first attempt included); must be >= 1.
+        backoff: simulated time to wait between tries.  Backoff matters:
+            conflicting coordinators that retry in lockstep re-collide,
+            while even a small stagger lets one of them win.
+        backoff_growth: multiplier applied to the backoff after each
+            failed try (1.0 = constant).
+    """
+
+    attempts: int = 3
+    backoff: float = 5.0
+    backoff_growth: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ConfigurationError(f"attempts must be >= 1, got {self.attempts}")
+        if self.backoff < 0 or self.backoff_growth < 1.0:
+            raise ConfigurationError(
+                "need backoff >= 0 and backoff_growth >= 1"
+            )
+
+
+class RetryingClient:
+    """Abort-retrying façade over a :class:`StorageRegister`.
+
+    All methods return the underlying result, or ABORT only after the
+    policy's attempts are exhausted.  The ``stats`` dict counts retries
+    for observability.
+    """
+
+    def __init__(
+        self, register: StorageRegister, policy: Optional[RetryPolicy] = None
+    ) -> None:
+        self.register = register
+        self.policy = policy or RetryPolicy()
+        self.stats: Dict[str, int] = {"retries": 0, "exhausted": 0}
+
+    def _run(self, operation):
+        env = self.register.env
+        delay = self.policy.backoff
+        result = operation()
+        for _attempt in range(self.policy.attempts - 1):
+            if result is not ABORT:
+                return result
+            self.stats["retries"] += 1
+            env.run(until=env.now + delay)
+            delay *= self.policy.backoff_growth
+            result = operation()
+        if result is ABORT:
+            self.stats["exhausted"] += 1
+        return result
+
+    # -- operations -----------------------------------------------------
+
+    def read_stripe(self):
+        """Read the stripe, retrying aborts per policy."""
+        return self._run(self.register.read_stripe)
+
+    def write_stripe(self, stripe: Sequence[Block]):
+        """Write the stripe, retrying aborts per policy."""
+        return self._run(lambda: self.register.write_stripe(stripe))
+
+    def read_block(self, j: int):
+        """Read one block, retrying aborts per policy."""
+        return self._run(lambda: self.register.read_block(j))
+
+    def write_block(self, j: int, block: Block):
+        """Write one block, retrying aborts per policy."""
+        return self._run(lambda: self.register.write_block(j, block))
+
+    def read_blocks(self, js: Sequence[int]):
+        """Multi-block read, retrying aborts per policy."""
+        return self._run(lambda: self.register.read_blocks(js))
+
+    def write_blocks(self, updates: Dict[int, Block]):
+        """Atomic multi-block write, retrying aborts per policy."""
+        return self._run(lambda: self.register.write_blocks(updates))

@@ -1,0 +1,90 @@
+"""Log garbage collection (paper Section 5.1).
+
+For correctness it suffices that each process remember the most recent
+timestamp-data pair that was part of a *complete* write.  After a
+coordinator has updated a full quorum with timestamp ``ts`` it may,
+asynchronously, tell all processes to discard log entries older than
+``ts``.
+
+The online path is built into the protocol: set
+``CoordinatorConfig.gc_enabled`` and every successful ``store-stripe``
+broadcasts a :class:`~repro.core.messages.GcReq`.  This module adds an
+*offline* collector for inspection and batch trimming, plus log-size
+statistics used by the GC benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..timestamps import Timestamp
+from .replica import Replica
+
+__all__ = ["LogStats", "GarbageCollector"]
+
+
+@dataclass
+class LogStats:
+    """Aggregate log sizes across replicas for one register."""
+
+    register_id: int
+    entries_per_replica: Dict[int, int]
+
+    @property
+    def total_entries(self) -> int:
+        return sum(self.entries_per_replica.values())
+
+    @property
+    def max_entries(self) -> int:
+        return max(self.entries_per_replica.values(), default=0)
+
+
+class GarbageCollector:
+    """Offline log inspection and trimming across a set of replicas.
+
+    Args:
+        replicas: mapping process id → replica (as built by FabCluster).
+    """
+
+    def __init__(self, replicas: Dict[int, Replica]) -> None:
+        self.replicas = replicas
+
+    def stats(self, register_id: int) -> LogStats:
+        """Current per-replica log sizes for ``register_id``."""
+        return LogStats(
+            register_id=register_id,
+            entries_per_replica={
+                pid: len(replica.state(register_id).log)
+                for pid, replica in self.replicas.items()
+            },
+        )
+
+    def trim(self, register_id: int, ts: Timestamp) -> Dict[int, int]:
+        """Trim all replica logs below ``ts``; returns removals per replica.
+
+        Only safe when ``ts`` is the timestamp of a complete write (one
+        that reached a full quorum) — the caller asserts this, exactly
+        as the protocol's coordinator does before broadcasting GC.
+        """
+        removed: Dict[int, int] = {}
+        for pid, replica in self.replicas.items():
+            state = replica.state(register_id)
+            count = state.log.trim_below(ts)
+            if count:
+                replica.node.stable.store(
+                    replica._log_key(register_id), state.log.to_state()
+                )
+            removed[pid] = count
+        return removed
+
+    def high_water_mark(self, register_id: int) -> int:
+        """Largest log (in entries) across replicas — the GC bench metric."""
+        return self.stats(register_id).max_entries
+
+    def registers_seen(self) -> List[int]:
+        """All register ids with state on any replica."""
+        seen = set()
+        for replica in self.replicas.values():
+            seen.update(replica._registers)
+        return sorted(seen)

@@ -1,0 +1,216 @@
+"""Replica persistent state: the versioned log (paper Section 4.2).
+
+Each replica stores, per register, a timestamp ``ord-ts`` and a log of
+``[timestamp, block]`` pairs.  The log holds the history of updates the
+replica has seen; ``⊥`` block entries record that a timestamp passed
+through without the replica learning a block value (used by the Modify
+handler for non-parity, non-target data processes).
+
+Three query functions, exactly as defined in the paper:
+
+* ``max_ts(log)`` — highest timestamp in the log;
+* ``max_block(log)`` — the non-⊥ value with the highest timestamp;
+* ``max_below(log, ts)`` — the non-⊥ value with the highest timestamp
+  strictly smaller than ``ts``.
+
+The initial log is ``{[LowTS, nil]}`` — note ``nil`` (no value ever
+written) is distinct from ``⊥`` (no value recorded at this timestamp):
+``max_block`` on a fresh log returns the ``nil`` entry, letting reads of
+never-written registers succeed with ``nil``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..errors import ProtocolInvariantError
+from ..timestamps import LOW_TS, Timestamp
+
+__all__ = ["LogEntry", "ReplicaLog", "BOTTOM"]
+
+
+class _BottomType:
+    """Sentinel for ``⊥`` block entries (timestamp recorded, no value)."""
+
+    _instance: Optional["_BottomType"] = None
+
+    def __new__(cls) -> "_BottomType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "⊥"
+
+    def __reduce__(self):
+        return (_BottomType, ())
+
+
+#: The ⊥ marker stored in timestamp-only log entries.
+BOTTOM = _BottomType()
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One ``[timestamp, block]`` log pair.
+
+    ``block`` is ``bytes``, ``None`` (the paper's ``nil`` initial
+    value), or :data:`BOTTOM` (the paper's ``⊥`` timestamp-only entry).
+    """
+
+    ts: Timestamp
+    block: object
+
+    @property
+    def has_value(self) -> bool:
+        """True iff the entry records an actual value (incl. ``nil``)."""
+        return self.block is not BOTTOM
+
+
+class ReplicaLog:
+    """The per-register log, kept sorted by timestamp.
+
+    The log is an append-mostly structure; entries arrive in roughly
+    timestamp order, so insertion uses ``bisect``.  All mutating methods
+    return ``self`` is avoided — mutations are explicit, and the replica
+    persists the log via its node's stable store after each change.
+    """
+
+    def __init__(self, entries: Optional[List[LogEntry]] = None) -> None:
+        if entries is None:
+            entries = [LogEntry(LOW_TS, None)]
+        self._entries = sorted(entries, key=lambda e: e.ts)
+        self._keys = [entry.ts for entry in self._entries]
+        if not self._entries:
+            raise ProtocolInvariantError("log may never be empty")
+
+    # -- queries (the paper's three functions) ----------------------------
+
+    def max_ts(self) -> Timestamp:
+        """``max-ts(log)``: the highest timestamp present."""
+        return self._entries[-1].ts
+
+    def max_block(self) -> Tuple[Timestamp, object]:
+        """``max-block(log)``: the non-⊥ value with the highest timestamp.
+
+        Returns the ``(ts, block)`` pair.  At least the initial
+        ``[LowTS, nil]`` entry always qualifies.
+        """
+        for entry in reversed(self._entries):
+            if entry.has_value:
+                return entry.ts, entry.block
+        raise ProtocolInvariantError("log has no value entries (missing LowTS)")
+
+    def max_below(self, ts: Timestamp) -> Tuple[Timestamp, object]:
+        """``max-below(log, ts)``: highest-timestamped non-⊥ value < ``ts``.
+
+        Returns ``(LowTS, None)`` when nothing qualifies (e.g. the GC
+        trimmed everything below ``ts`` away, or ``ts`` is LowTS).
+        """
+        index = bisect.bisect_left(self._keys, ts)
+        for position in range(index - 1, -1, -1):
+            entry = self._entries[position]
+            if entry.has_value:
+                return entry.ts, entry.block
+        return LOW_TS, None
+
+    def max_ts_below(self, ts: Timestamp) -> Timestamp:
+        """Highest timestamp of ANY entry (⊥ included) strictly below ``ts``.
+
+        This is the *version* a replica's state reflects under the
+        bound: a ⊥ entry at time t means "my block did not change at
+        t", so the replica's current block value is valid for version
+        t even though the value itself carries an older timestamp.
+        Returns LowTS when nothing is below (the initial entry is at
+        LowTS itself).
+        """
+        index = bisect.bisect_left(self._keys, ts)
+        if index == 0:
+            return LOW_TS
+        return self._keys[index - 1]
+
+    def contains_ts(self, ts: Timestamp) -> bool:
+        """True iff an entry with exactly this timestamp exists."""
+        index = bisect.bisect_left(self._keys, ts)
+        return index < len(self._keys) and self._keys[index] == ts
+
+    def entry_at(self, ts: Timestamp) -> Optional[LogEntry]:
+        """The entry with exactly this timestamp, if present."""
+        index = bisect.bisect_left(self._keys, ts)
+        if index < len(self._keys) and self._keys[index] == ts:
+            return self._entries[index]
+        return None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> List[LogEntry]:
+        """A snapshot copy of all entries, ascending by timestamp."""
+        return list(self._entries)
+
+    # -- mutation ----------------------------------------------------------
+
+    def append(self, ts: Timestamp, block: object) -> None:
+        """Add ``{[ts, block]}`` to the log (the handler's ``log ∪ {...}``).
+
+        Appending an entry whose timestamp already exists replaces it
+        only if the old entry was ⊥ and the new one carries a value
+        (set-union semantics: the pair is keyed by timestamp; a value
+        entry subsumes a ⊥ placeholder for the same write).
+        """
+        index = bisect.bisect_left(self._keys, ts)
+        if index < len(self._keys) and self._keys[index] == ts:
+            existing = self._entries[index]
+            if not existing.has_value and block is not BOTTOM:
+                self._entries[index] = LogEntry(ts, block)
+            return
+        self._entries.insert(index, LogEntry(ts, block))
+        self._keys.insert(index, ts)
+
+    def trim_below(self, ts: Timestamp) -> int:
+        """Garbage-collect entries with timestamps strictly below ``ts``.
+
+        Keeps the entry at ``ts`` itself (the most recent complete
+        write) if present; if no entry at or above ``ts`` holds a value,
+        the newest value entry below is retained instead so ``max_block``
+        remains correct.  Returns the number of entries removed.
+
+        See Section 5.1: after a write completes at a full quorum with
+        timestamp ``ts``, older data is no longer needed.
+        """
+        cut = bisect.bisect_left(self._keys, ts)
+        if cut == 0:
+            return 0
+        # Guarantee a value entry survives.
+        has_value_at_or_after = any(
+            entry.has_value for entry in self._entries[cut:]
+        )
+        if not has_value_at_or_after:
+            for position in range(cut - 1, -1, -1):
+                if self._entries[position].has_value:
+                    cut = position
+                    break
+            else:
+                return 0
+        if cut == 0:
+            return 0
+        removed = cut
+        self._entries = self._entries[cut:]
+        self._keys = self._keys[cut:]
+        return removed
+
+    # -- persistence helpers -------------------------------------------------
+
+    def to_state(self) -> List[Tuple[Timestamp, object]]:
+        """Serialize to a plain list for the stable store."""
+        return [(entry.ts, entry.block) for entry in self._entries]
+
+    @classmethod
+    def from_state(cls, state: List[Tuple[Timestamp, object]]) -> "ReplicaLog":
+        """Rebuild from :meth:`to_state` output."""
+        return cls([LogEntry(ts, block) for ts, block in state])
+
+    def __repr__(self) -> str:
+        return f"ReplicaLog({len(self._entries)} entries, max_ts={self.max_ts()!r})"

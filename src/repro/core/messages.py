@@ -1,0 +1,197 @@
+"""Protocol message formats (Algorithms 1-3).
+
+Five request types flow coordinator → replica, each with a matching
+reply:
+
+====================  =============================================
+Request               Paper form
+====================  =============================================
+:class:`ReadReq`      ``[Read, targets]``
+:class:`OrderReq`     ``[Order, ts]``
+:class:`OrderReadReq` ``[Order&Read, j, max, ts]`` (``j`` may be ALL)
+:class:`WriteReq`     ``[Write, [b1..bn], ts]`` — we ship only the
+                      destination's own block, the paper's stated
+                      bandwidth optimization (Section 5.2 / Table 1
+                      accounting of ``nB``)
+:class:`ModifyReq`    ``[Modify, j, b_j, b, ts_j, ts]``
+====================  =============================================
+
+Every request carries ``register_id`` (which stripe) and ``request_id``
+(for at-most-once retransmission handling); replies echo the
+``request_id`` so the coordinator can match them.  ``size`` on each
+class reports payload bytes for Table 1 bandwidth accounting: only
+block-sized fields count, control fields are negligible next to ``B``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..timestamps import Timestamp
+from ..types import Block
+
+__all__ = [
+    "ALL",
+    "ReadReq",
+    "ReadReply",
+    "OrderReq",
+    "OrderReply",
+    "OrderReadReq",
+    "OrderReadReply",
+    "WriteReq",
+    "WriteReply",
+    "ModifyReq",
+    "ModifyReply",
+    "GcReq",
+    "Request",
+    "Reply",
+]
+
+#: Sentinel for ``j = ALL`` in Order&Read (read every process's block).
+ALL = -1
+
+
+@dataclass(frozen=True)
+class _Base:
+    register_id: int
+    request_id: int
+
+    @property
+    def size(self) -> int:
+        """Payload bytes for bandwidth accounting (blocks only)."""
+        return 0
+
+
+@dataclass(frozen=True)
+class ReadReq(_Base):
+    """``[Read, targets]`` — optimistic read; ``targets`` reply with blocks."""
+
+    targets: frozenset = frozenset()
+
+
+@dataclass(frozen=True)
+class ReadReply(_Base):
+    """``[Read-R, status, val-ts, b]``."""
+
+    status: bool = False
+    val_ts: Optional[Timestamp] = None
+    block: Optional[Block] = None
+
+    @property
+    def size(self) -> int:
+        return len(self.block) if self.block is not None else 0
+
+
+@dataclass(frozen=True)
+class OrderReq(_Base):
+    """``[Order, ts]`` — phase one of a write: reserve the timestamp."""
+
+    ts: Timestamp = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class OrderReply(_Base):
+    """``[Order-R, status]``.
+
+    ``max_seen`` reports the replica's highest known timestamp
+    (max of ``ord-ts`` and ``max-ts(log)``).  The paper's reply carries
+    only the status; exposing the timestamp lets a rejected coordinator
+    advance its clock immediately instead of relying on repeated blind
+    retries for the PROGRESS property — an abort-rate optimization with
+    no safety impact (timestamps only gate ordering).
+    """
+
+    status: bool = False
+    max_seen: Optional[Timestamp] = None
+
+
+@dataclass(frozen=True)
+class OrderReadReq(_Base):
+    """``[Order&Read, j, max, ts]`` — order ``ts`` and read back a block.
+
+    ``j`` is a 1-based process id or :data:`ALL`; ``max_ts`` bounds the
+    timestamp of the block returned (``max-below(log, max)``).
+    """
+
+    j: int = ALL
+    max_ts: Timestamp = None  # type: ignore[assignment]
+    ts: Timestamp = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class OrderReadReply(_Base):
+    """``[Order&Read-R, status, lts, b]``."""
+
+    status: bool = False
+    lts: Optional[Timestamp] = None
+    block: Optional[Block] = None
+
+    @property
+    def size(self) -> int:
+        return len(self.block) if self.block is not None else 0
+
+
+@dataclass(frozen=True)
+class WriteReq(_Base):
+    """``[Write, ..., ts]`` carrying only the destination's block."""
+
+    block: Optional[Block] = None
+    ts: Timestamp = None  # type: ignore[assignment]
+
+    @property
+    def size(self) -> int:
+        return len(self.block) if self.block is not None else 0
+
+
+@dataclass(frozen=True)
+class WriteReply(_Base):
+    """``[Write-R, status]`` (+ ``max_seen``, as in :class:`OrderReply`)."""
+
+    status: bool = False
+    max_seen: Optional[Timestamp] = None
+
+
+@dataclass(frozen=True)
+class ModifyReq(_Base):
+    """``[Modify, j, b_j, b, ts_j, ts]`` — block-write fast path.
+
+    Carries the old value ``old_block`` of block ``j`` and the new value
+    ``new_block`` so parity processes can apply ``modify_{j,i}``.  When
+    the cluster enables delta shipping (Section 5.2 optimization (b)),
+    ``old_block`` is ``None`` and ``delta`` carries the coded delta.
+    """
+
+    j: int = 0
+    old_block: Optional[Block] = None
+    new_block: Optional[Block] = None
+    delta: Optional[Block] = None
+    ts_j: Timestamp = None  # type: ignore[assignment]
+    ts: Timestamp = None  # type: ignore[assignment]
+
+    @property
+    def size(self) -> int:
+        total = 0
+        for blob in (self.old_block, self.new_block, self.delta):
+            if blob is not None:
+                total += len(blob)
+        return total
+
+
+@dataclass(frozen=True)
+class ModifyReply(_Base):
+    """``[Modify-R, status]``."""
+
+    status: bool = False
+
+
+@dataclass(frozen=True)
+class GcReq(_Base):
+    """Garbage-collection notice (Section 5.1): trim entries below ``ts``."""
+
+    ts: Timestamp = None  # type: ignore[assignment]
+
+
+#: Union helper tuples for handler registration.
+Request = (ReadReq, OrderReq, OrderReadReq, WriteReq, ModifyReq, GcReq)
+Reply = (ReadReply, OrderReply, OrderReadReply, WriteReply, ModifyReply)

@@ -1,0 +1,114 @@
+"""The storage-register facade (paper Section 3).
+
+A :class:`StorageRegister` binds a register id (one stripe) to a
+coordinator and exposes the four operations both asynchronously (returning
+simulation :class:`~repro.sim.kernel.Process` objects, for concurrent
+histories) and synchronously (driving the event loop to completion, for
+straight-line code and examples).
+
+The synchronous helpers return exactly what the protocol returns:
+
+* reads — the value, ``None`` for a never-written register (the paper's
+  ``nil``), or :data:`~repro.types.ABORT`;
+* writes — ``"OK"`` or :data:`~repro.types.ABORT`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..sim.kernel import Process
+from ..types import Block
+from .coordinator import Coordinator
+
+__all__ = ["StorageRegister"]
+
+
+class StorageRegister:
+    """Read-write register over one erasure-coded stripe.
+
+    Args:
+        coordinator: the coordinator to issue operations through; use
+            different coordinators (on different bricks) against the
+            same ``register_id`` to exercise the fully decentralized
+            multi-controller behaviour.
+        register_id: which stripe this register instance addresses.
+    """
+
+    def __init__(self, coordinator: Coordinator, register_id: int) -> None:
+        self.coordinator = coordinator
+        self.register_id = register_id
+
+    @property
+    def env(self):
+        return self.coordinator.env
+
+    # -- asynchronous API (returns sim processes) ---------------------------
+
+    def read_stripe_async(self) -> Process:
+        """Start a ``read-stripe`` operation; returns its Process."""
+        return self.coordinator.node.spawn(
+            self.coordinator.read_stripe(self.register_id)
+        )
+
+    def write_stripe_async(self, stripe: Sequence[Block]) -> Process:
+        """Start a ``write-stripe`` operation; returns its Process."""
+        return self.coordinator.node.spawn(
+            self.coordinator.write_stripe(self.register_id, stripe)
+        )
+
+    def read_block_async(self, j: int) -> Process:
+        """Start a ``read-block(j)`` operation; returns its Process."""
+        return self.coordinator.node.spawn(
+            self.coordinator.read_block(self.register_id, j)
+        )
+
+    def write_block_async(self, j: int, block: Block) -> Process:
+        """Start a ``write-block(j, b)`` operation; returns its Process."""
+        return self.coordinator.node.spawn(
+            self.coordinator.write_block(self.register_id, j, block)
+        )
+
+    def read_blocks_async(self, js) -> Process:
+        """Start a multi-block read (footnote 2 extension)."""
+        return self.coordinator.node.spawn(
+            self.coordinator.read_blocks(self.register_id, js)
+        )
+
+    def write_blocks_async(self, updates) -> Process:
+        """Start an atomic multi-block write (footnote 2 extension)."""
+        return self.coordinator.node.spawn(
+            self.coordinator.write_blocks(self.register_id, updates)
+        )
+
+    # -- synchronous API (drives the event loop) -----------------------------
+
+    def read_stripe(self) -> Optional[List[Block]]:
+        """Blocking ``read-stripe``; returns stripe, None (nil), or ABORT."""
+        return self.env.run_until_complete(self.read_stripe_async())
+
+    def write_stripe(self, stripe: Sequence[Block]):
+        """Blocking ``write-stripe``; returns "OK" or ABORT."""
+        return self.env.run_until_complete(self.write_stripe_async(stripe))
+
+    def read_block(self, j: int):
+        """Blocking ``read-block(j)``; returns block, None (nil), or ABORT."""
+        return self.env.run_until_complete(self.read_block_async(j))
+
+    def write_block(self, j: int, block: Block):
+        """Blocking ``write-block(j, b)``; returns "OK" or ABORT."""
+        return self.env.run_until_complete(self.write_block_async(j, block))
+
+    def read_blocks(self, js):
+        """Blocking multi-block read; returns ``{j: block}`` or ABORT."""
+        return self.env.run_until_complete(self.read_blocks_async(js))
+
+    def write_blocks(self, updates):
+        """Blocking atomic multi-block write; returns "OK" or ABORT."""
+        return self.env.run_until_complete(self.write_blocks_async(updates))
+
+    def __repr__(self) -> str:
+        return (
+            f"StorageRegister(id={self.register_id}, "
+            f"coordinator=p{self.coordinator.node.process_id})"
+        )

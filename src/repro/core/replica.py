@@ -1,0 +1,324 @@
+"""Replica message handlers (paper Algorithm 2 + the Modify handler).
+
+A :class:`Replica` runs on a :class:`~repro.sim.node.Node` and manages
+the per-register persistent state (``ord-ts`` and the log) for every
+register whose stripe places a block on this brick.  Handlers are
+synchronous — Algorithm 2's handlers never block — and reply directly
+over the network.
+
+Persistence follows the paper's ``store(var)`` discipline: every
+mutation of ``ord-ts`` or the log is pushed to the node's stable store
+before the reply is sent; on recovery the replica reloads exactly those
+values, so a crash between mutation and reply is equivalent to the
+reply being lost in the network.
+
+Retransmission handling: the coordinator's quorum primitive resends
+requests until enough replies arrive (fair-loss channels).  A replica
+keeps a small volatile cache of its last reply per ``(coordinator,
+request_id)`` and resends it verbatim on duplicates, giving at-most-once
+execution per request without changing the paper's handler logic.  The
+cache is volatile: losing it on a crash can only cause a request to be
+re-executed and refused (``status = false``), which at worst aborts the
+operation — never a safety violation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..erasure.interface import ErasureCode
+from ..sim.node import Node
+from ..timestamps import LOW_TS, Timestamp
+from ..types import ProcessId
+from .log import BOTTOM, ReplicaLog
+from .messages import (
+    ALL,
+    GcReq,
+    ModifyReply,
+    ModifyReq,
+    OrderReadReply,
+    OrderReadReq,
+    OrderReply,
+    OrderReq,
+    ReadReply,
+    ReadReq,
+    WriteReply,
+    WriteReq,
+)
+
+__all__ = ["Replica", "RegisterState"]
+
+#: Bound on the per-coordinator duplicate-reply cache.
+_REPLY_CACHE_LIMIT = 64
+
+
+class RegisterState:
+    """Persistent per-register state on one replica: ``ord-ts`` + log."""
+
+    def __init__(self, log: Optional[ReplicaLog] = None,
+                 ord_ts: Timestamp = LOW_TS) -> None:
+        self.log = log or ReplicaLog()
+        self.ord_ts = ord_ts
+
+
+class Replica:
+    """The brick-side protocol endpoint for process ``p_i``.
+
+    Args:
+        node: the hosting simulation node.
+        code: the stripe's erasure code (needed by the Modify handler to
+            run ``modify_{j,i}`` locally).
+        process_index: this process's 1-based index ``i`` — which block
+            of each stripe it stores.
+        disk_read_latency / disk_write_latency: simulated time per
+            block read/write from the log.  The default (0) matches the
+            paper's cost model, which counts disk operations but keeps
+            latency in δ units; non-zero values let the latency
+            benchmarks study disk-bound regimes (replies are delayed by
+            the request's accumulated disk time).
+    """
+
+    def __init__(self, node: Node, code: ErasureCode, process_index: int,
+                 disk_read_latency: float = 0.0,
+                 disk_write_latency: float = 0.0) -> None:
+        self.node = node
+        self.code = code
+        self.i = process_index
+        self.disk_read_latency = disk_read_latency
+        self.disk_write_latency = disk_write_latency
+        self._busy = 0.0
+        self._registers: Dict[int, RegisterState] = {}
+        self._reply_cache: Dict[Tuple[ProcessId, int], object] = {}
+        node.register_handler(ReadReq, self._on_read)
+        node.register_handler(OrderReq, self._on_order)
+        node.register_handler(OrderReadReq, self._on_order_read)
+        node.register_handler(WriteReq, self._on_write)
+        node.register_handler(ModifyReq, self._on_modify)
+        node.register_handler(GcReq, self._on_gc)
+        node.on_recovery(self._reload)
+
+    # -- state access -------------------------------------------------------
+
+    def state(self, register_id: int) -> RegisterState:
+        """The (volatile mirror of) persistent state for one register."""
+        found = self._registers.get(register_id)
+        if found is None:
+            found = self._load(register_id)
+            self._registers[register_id] = found
+        return found
+
+    def _log_key(self, register_id: int) -> str:
+        return f"log:{register_id}"
+
+    def _ord_key(self, register_id: int) -> str:
+        return f"ordts:{register_id}"
+
+    def _load(self, register_id: int) -> RegisterState:
+        stored_log = self.node.stable.load(self._log_key(register_id))
+        stored_ord = self.node.stable.load(self._ord_key(register_id), LOW_TS)
+        log = (
+            ReplicaLog.from_state(stored_log)
+            if stored_log is not None
+            else ReplicaLog()
+        )
+        return RegisterState(log=log, ord_ts=stored_ord)
+
+    def _reload(self) -> None:
+        """Recovery hook: drop volatile mirrors, reread stable storage."""
+        self._registers.clear()
+        self._reply_cache.clear()
+
+    def _store_ord(self, register_id: int, state: RegisterState) -> None:
+        # ord-ts lives in NVRAM per the paper's cost model: persisted,
+        # but not counted as disk I/O.
+        self.node.stable.store(self._ord_key(register_id), state.ord_ts)
+
+    def _store_log(self, register_id: int, state: RegisterState) -> None:
+        self.node.stable.store(self._log_key(register_id), state.log.to_state())
+
+    # -- duplicate suppression -------------------------------------------------
+
+    def _cached_reply(self, src: ProcessId, request_id: int):
+        return self._reply_cache.get((src, request_id))
+
+    def _remember_reply(self, src: ProcessId, request_id: int, reply) -> None:
+        self._reply_cache[(src, request_id)] = reply
+        if len(self._reply_cache) > _REPLY_CACHE_LIMIT * 4:
+            # Drop the oldest half (dict preserves insertion order).
+            for key in list(self._reply_cache)[: _REPLY_CACHE_LIMIT * 2]:
+                del self._reply_cache[key]
+
+    def _disk_read(self, blocks: int = 1) -> None:
+        """Count a log block read and accrue its service time."""
+        self.node.metrics.count_disk_read(blocks)
+        self._busy += blocks * self.disk_read_latency
+
+    def _disk_write(self, blocks: int = 1) -> None:
+        """Count a log block write and accrue its service time."""
+        self.node.metrics.count_disk_write(blocks)
+        self._busy += blocks * self.disk_write_latency
+
+    def _reply(self, src: ProcessId, request_id: int, reply) -> None:
+        self._remember_reply(src, request_id, reply)
+        delay, self._busy = self._busy, 0.0
+        if delay > 0:
+            timer = self.node.env.timeout(delay)
+            timer._add_callback(
+                lambda _t: self.node.send(src, reply, size=reply.size)
+            )
+        else:
+            self.node.send(src, reply, size=reply.size)
+
+    def _resend_if_duplicate(self, src: ProcessId, request) -> bool:
+        cached = self._cached_reply(src, request.request_id)
+        if cached is None:
+            return False
+        self.node.send(src, cached, size=cached.size)
+        return True
+
+    # -- handlers (Algorithm 2) -------------------------------------------------
+
+    def _on_read(self, src: ProcessId, req: ReadReq) -> None:
+        """``[Read, targets]``: report val-ts; targets also return a block."""
+        if self._resend_if_duplicate(src, req):
+            return
+        state = self.state(req.register_id)
+        val_ts = state.log.max_ts()
+        status = val_ts >= state.ord_ts
+        block = None
+        if status and self.i in req.targets:
+            _ts, value = state.log.max_block()
+            if isinstance(value, (bytes, bytearray)):
+                self._disk_read()
+                block = bytes(value)
+            # A nil value (never-written register) costs no disk read
+            # and is reported as a None block with status true.
+        reply = ReadReply(
+            register_id=req.register_id,
+            request_id=req.request_id,
+            status=status,
+            val_ts=val_ts,
+            block=block,
+        )
+        self._reply(src, req.request_id, reply)
+
+    def _on_order(self, src: ProcessId, req: OrderReq) -> None:
+        """``[Order, ts]``: reserve a place in the write order."""
+        if self._resend_if_duplicate(src, req):
+            return
+        state = self.state(req.register_id)
+        status = req.ts > state.log.max_ts() and req.ts >= state.ord_ts
+        if status:
+            state.ord_ts = req.ts
+            self._store_ord(req.register_id, state)
+        reply = OrderReply(
+            register_id=req.register_id,
+            request_id=req.request_id,
+            status=status,
+            max_seen=max(state.ord_ts, state.log.max_ts()),
+        )
+        self._reply(src, req.request_id, reply)
+
+    def _on_order_read(self, src: ProcessId, req: OrderReadReq) -> None:
+        """``[Order&Read, j, max, ts]``: order ``ts``; return max-below block."""
+        if self._resend_if_duplicate(src, req):
+            return
+        state = self.state(req.register_id)
+        status = req.ts > state.log.max_ts() and req.ts >= state.ord_ts
+        lts: Timestamp = LOW_TS
+        block = None
+        if status:
+            state.ord_ts = req.ts
+            self._store_ord(req.register_id, state)
+            if req.j == self.i or req.j == ALL:
+                # The reported timestamp is the newest *version* this
+                # replica reflects below the bound — ⊥ entries count,
+                # because a ⊥ at time t certifies "my block is unchanged
+                # at version t".  The block is the newest non-⊥ value.
+                # Reporting the value's own (possibly older) timestamp
+                # instead would make a committed fast block-write look
+                # incomplete to any recovery quorum that misses p_j,
+                # rolling back a committed operation.
+                lts = state.log.max_ts_below(req.max_ts)
+                _value_ts, value = state.log.max_below(req.max_ts)
+                if isinstance(value, (bytes, bytearray)):
+                    self._disk_read()
+                    block = bytes(value)
+        reply = OrderReadReply(
+            register_id=req.register_id,
+            request_id=req.request_id,
+            status=status,
+            lts=lts,
+            block=block,
+        )
+        self._reply(src, req.request_id, reply)
+
+    def _on_write(self, src: ProcessId, req: WriteReq) -> None:
+        """``[Write, b_i, ts]``: append the new block to the log."""
+        if self._resend_if_duplicate(src, req):
+            return
+        state = self.state(req.register_id)
+        status = req.ts > state.log.max_ts() and req.ts >= state.ord_ts
+        if status:
+            state.log.append(req.ts, req.block)
+            self._store_log(req.register_id, state)
+            if req.block is not None:
+                self._disk_write()
+        reply = WriteReply(
+            register_id=req.register_id,
+            request_id=req.request_id,
+            status=status,
+            max_seen=max(state.ord_ts, state.log.max_ts()),
+        )
+        self._reply(src, req.request_id, reply)
+
+    def _on_modify(self, src: ProcessId, req: ModifyReq) -> None:
+        """``[Modify, j, b_j, b, ts_j, ts]``: block-write fast path.
+
+        Accepts only if this replica's newest log timestamp is exactly
+        ``ts_j`` (the version the coordinator read), guaranteeing the
+        parity delta applies to the same base version everywhere.
+        """
+        if self._resend_if_duplicate(src, req):
+            return
+        state = self.state(req.register_id)
+        status = req.ts_j == state.log.max_ts() and req.ts >= state.ord_ts
+        if status:
+            if self.i == req.j:
+                block: object = req.new_block
+            elif self.i > self.code.m:
+                _ts, current = state.log.max_block()
+                if isinstance(current, (bytes, bytearray)):
+                    self._disk_read()
+                    if req.delta is not None:
+                        block = self.code.apply_delta(  # type: ignore[attr-defined]
+                            req.j, self.i, req.delta, bytes(current)
+                        )
+                    else:
+                        block = self.code.modify(
+                            req.j, self.i, req.old_block, req.new_block,
+                            bytes(current),
+                        )
+                else:
+                    # No parity value yet (register never written): the
+                    # fast path cannot produce a consistent parity block.
+                    status = False
+                    block = BOTTOM
+            else:
+                block = BOTTOM
+        if status:
+            state.log.append(req.ts, block)
+            self._store_log(req.register_id, state)
+            if isinstance(block, (bytes, bytearray)):
+                self._disk_write()
+        reply = ModifyReply(
+            register_id=req.register_id, request_id=req.request_id, status=status
+        )
+        self._reply(src, req.request_id, reply)
+
+    def _on_gc(self, src: ProcessId, req: GcReq) -> None:
+        """Garbage-collection notice: trim log entries below ``ts``."""
+        state = self.state(req.register_id)
+        removed = state.log.trim_below(req.ts)
+        if removed:
+            self._store_log(req.register_id, state)

@@ -1,0 +1,172 @@
+"""Matrix algebra over GF(2^8).
+
+Reed-Solomon encoding and decoding reduce to linear algebra over the
+field: encoding multiplies the data vector by a generator matrix, and
+decoding inverts the square submatrix corresponding to the surviving
+blocks.  This module provides the small dense-matrix toolkit both
+operations need: Gaussian elimination, inversion, and the Vandermonde /
+Cauchy constructions used to build generator matrices with the MDS
+property.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import CodingError
+from .gf256 import GF256
+
+__all__ = [
+    "identity",
+    "vandermonde",
+    "cauchy",
+    "invert",
+    "rank",
+    "matmul",
+    "systematic_from_vandermonde",
+]
+
+
+def identity(size: int) -> np.ndarray:
+    """The ``size x size`` identity matrix over GF(2^8)."""
+    return np.eye(size, dtype=np.uint8)
+
+
+def vandermonde(rows: int, cols: int) -> np.ndarray:
+    """A ``rows x cols`` Vandermonde matrix ``V[i, j] = i^j``.
+
+    Over GF(2^8) the rows use distinct evaluation points ``0..rows-1``
+    (with the convention ``0^0 = 1``), so any ``cols`` rows are linearly
+    independent as long as ``rows <= 256``.
+    """
+    if rows > GF256.ORDER:
+        raise CodingError(
+            f"Vandermonde needs distinct points; rows={rows} > 256"
+        )
+    matrix = np.zeros((rows, cols), dtype=np.uint8)
+    for i in range(rows):
+        for j in range(cols):
+            matrix[i, j] = GF256.pow(i, j) if i else (1 if j == 0 else 0)
+    return matrix
+
+
+def cauchy(rows: int, cols: int) -> np.ndarray:
+    """A ``rows x cols`` Cauchy matrix ``C[i, j] = 1 / (x_i + y_j)``.
+
+    Uses ``x_i = i`` and ``y_j = rows + j``; requires ``rows + cols <= 256``
+    so all points are distinct.  Every square submatrix of a Cauchy
+    matrix is invertible, which makes it a convenient parity matrix.
+    """
+    if rows + cols > GF256.ORDER:
+        raise CodingError(
+            f"Cauchy construction needs rows+cols <= 256, got {rows + cols}"
+        )
+    matrix = np.zeros((rows, cols), dtype=np.uint8)
+    for i in range(rows):
+        for j in range(cols):
+            matrix[i, j] = GF256.inv(GF256.add(i, rows + j))
+    return matrix
+
+
+def matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """GF(2^8) matrix product of two small coefficient matrices."""
+    return GF256.matmul(np.asarray(a, dtype=np.uint8), np.asarray(b, dtype=np.uint8))
+
+
+def invert(matrix: np.ndarray) -> np.ndarray:
+    """Invert a square matrix over GF(2^8) by Gauss-Jordan elimination.
+
+    Raises:
+        CodingError: if the matrix is singular.
+    """
+    matrix = np.asarray(matrix, dtype=np.uint8)
+    size = matrix.shape[0]
+    if matrix.shape != (size, size):
+        raise CodingError(f"cannot invert non-square matrix {matrix.shape}")
+    work = matrix.astype(np.int32)
+    inverse = np.eye(size, dtype=np.int32)
+
+    for col in range(size):
+        pivot_row = None
+        for row in range(col, size):
+            if work[row, col] != 0:
+                pivot_row = row
+                break
+        if pivot_row is None:
+            raise CodingError("matrix is singular over GF(2^8)")
+        if pivot_row != col:
+            work[[col, pivot_row]] = work[[pivot_row, col]]
+            inverse[[col, pivot_row]] = inverse[[pivot_row, col]]
+        pivot_inv = GF256.inv(int(work[col, col]))
+        for j in range(size):
+            work[col, j] = GF256.mul(int(work[col, j]), pivot_inv)
+            inverse[col, j] = GF256.mul(int(inverse[col, j]), pivot_inv)
+        for row in range(size):
+            if row == col or work[row, col] == 0:
+                continue
+            factor = int(work[row, col])
+            for j in range(size):
+                work[row, j] ^= GF256.mul(factor, int(work[col, j]))
+                inverse[row, j] ^= GF256.mul(factor, int(inverse[col, j]))
+    return inverse.astype(np.uint8)
+
+
+def rank(matrix: np.ndarray) -> int:
+    """Rank of a matrix over GF(2^8) (row echelon by elimination)."""
+    work = np.asarray(matrix, dtype=np.uint8).astype(np.int32).copy()
+    rows, cols = work.shape
+    r = 0
+    for col in range(cols):
+        pivot_row = None
+        for row in range(r, rows):
+            if work[row, col] != 0:
+                pivot_row = row
+                break
+        if pivot_row is None:
+            continue
+        if pivot_row != r:
+            work[[r, pivot_row]] = work[[pivot_row, r]]
+        pivot_inv = GF256.inv(int(work[r, col]))
+        for j in range(cols):
+            work[r, j] = GF256.mul(int(work[r, j]), pivot_inv)
+        for row in range(rows):
+            if row == r or work[row, col] == 0:
+                continue
+            factor = int(work[row, col])
+            for j in range(cols):
+                work[row, j] ^= GF256.mul(factor, int(work[r, j]))
+        r += 1
+        if r == rows:
+            break
+    return r
+
+
+def systematic_from_vandermonde(m: int, n: int) -> np.ndarray:
+    """Build a systematic MDS generator matrix of shape ``(n, m)``.
+
+    Starts from an ``n x m`` Vandermonde matrix (every ``m`` rows of
+    which are independent) and applies column operations so the top
+    ``m x m`` block becomes the identity.  Column operations preserve
+    the "every m rows independent" property, so the result is an MDS
+    generator whose first ``m`` outputs are the data blocks themselves —
+    exactly the layout the paper assumes (process ``j`` stores block
+    ``j``; processes ``m+1..n`` store parity).
+    """
+    if n > GF256.ORDER:
+        raise CodingError(f"GF(2^8) Reed-Solomon supports n <= 256, got {n}")
+    if m > n:
+        raise CodingError(f"need m <= n, got m={m} n={n}")
+    generator = vandermonde(n, m)
+    top = generator[:m, :]
+    top_inverse = invert(top)
+    systematic = GF256.matmul(generator, top_inverse)
+    # Clean up: the top block must be exactly the identity.
+    systematic[:m, :] = identity(m)
+    return systematic
+
+
+def submatrix(matrix: np.ndarray, row_indices: Sequence[int]) -> np.ndarray:
+    """Select a set of rows from a generator matrix."""
+    return np.asarray(matrix, dtype=np.uint8)[list(row_indices), :]

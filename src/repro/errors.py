@@ -1,0 +1,62 @@
+"""Exception hierarchy for the repro package.
+
+The protocol itself signals failure through abort values (the paper's
+``⊥``) rather than exceptions; exceptions are reserved for misuse of the
+API and for genuinely unrecoverable conditions (bad parameters, corrupted
+state detected by internal invariants).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a component is constructed with invalid parameters.
+
+    Examples: an erasure code with ``m > n``, a quorum system whose fault
+    bound violates Theorem 2 (``n < 2f + m``), a stripe whose block size
+    is not positive.
+    """
+
+
+class CodingError(ReproError):
+    """Raised when an erasure-coding operation cannot be performed.
+
+    Examples: decoding from fewer than ``m`` blocks, or from blocks whose
+    indices are out of range for the code.
+    """
+
+
+class QuorumError(ReproError):
+    """Raised when a quorum operation is impossible.
+
+    Example: asking for a live quorum when more than ``f`` processes are
+    excluded.
+    """
+
+
+class SimulationError(ReproError):
+    """Raised on misuse of the discrete-event simulation kernel."""
+
+
+class StorageError(ReproError):
+    """Raised on invalid access to a node's persistent store."""
+
+
+class VerificationError(ReproError):
+    """Raised when a history fails linearizability verification.
+
+    The checker normally *returns* a result object; this exception is
+    used by the ``check_*_or_raise`` convenience wrappers.
+    """
+
+
+class ProtocolInvariantError(ReproError):
+    """Raised when an internal protocol invariant is violated.
+
+    These indicate a bug in the implementation (or deliberately injected
+    corruption in tests), never a legal runtime condition.
+    """

@@ -1,0 +1,115 @@
+"""Quorum selection strategies.
+
+The protocol's ``quorum()`` primitive (Section 2.2) only requires that
+*some* m-quorum receives every message; which processes a coordinator
+contacts first is a policy decision with performance consequences.  The
+strategies here decide the initial target set and the order in which
+additional processes are tried as replies time out.
+
+* :class:`RandomQuorumStrategy` — pick uniformly at random; spreads load
+  (used by the paper's ``fast-read-stripe``, line 6: "Pick m random
+  processes").
+* :class:`PreferredQuorumStrategy` — always prefer a fixed ordering;
+  maximizes fast-path cache/log locality.
+* :class:`ExcludeSuspectedStrategy` — wrap another strategy and demote
+  (but never permanently exclude) processes that recently timed out.
+  Failure *suspicion* only affects performance, never safety, matching
+  the paper's "does not need to know which bricks are up or down".
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Iterable, List, Optional, Sequence, Set
+
+from ..types import ProcessId
+
+__all__ = [
+    "QuorumStrategy",
+    "RandomQuorumStrategy",
+    "PreferredQuorumStrategy",
+    "ExcludeSuspectedStrategy",
+]
+
+
+class QuorumStrategy(abc.ABC):
+    """Orders the universe for a coordinator to contact."""
+
+    @abc.abstractmethod
+    def order(self, universe: Sequence[ProcessId]) -> List[ProcessId]:
+        """Return the universe ordered by contact preference."""
+
+    def pick(self, universe: Sequence[ProcessId], count: int) -> List[ProcessId]:
+        """First ``count`` processes in preference order."""
+        return self.order(universe)[:count]
+
+
+class RandomQuorumStrategy(QuorumStrategy):
+    """Uniformly random ordering (load-spreading default).
+
+    Args:
+        rng: random source; pass a seeded :class:`random.Random` for
+            reproducible simulations.
+    """
+
+    def __init__(self, rng: Optional[random.Random] = None) -> None:
+        self._rng = rng or random.Random()
+
+    def order(self, universe: Sequence[ProcessId]) -> List[ProcessId]:
+        ordered = list(universe)
+        self._rng.shuffle(ordered)
+        return ordered
+
+
+class PreferredQuorumStrategy(QuorumStrategy):
+    """Fixed preference order, e.g. data processes before parity.
+
+    Args:
+        preference: process ids in preferred order; universe members not
+            listed are appended in id order.
+    """
+
+    def __init__(self, preference: Iterable[ProcessId]) -> None:
+        self._preference = list(preference)
+
+    def order(self, universe: Sequence[ProcessId]) -> List[ProcessId]:
+        present = set(universe)
+        ordered = [p for p in self._preference if p in present]
+        rest = sorted(present - set(ordered))
+        return ordered + rest
+
+
+class ExcludeSuspectedStrategy(QuorumStrategy):
+    """Demote suspected processes to the back of the contact order.
+
+    Suspicion is advisory: suspected processes are still contacted last,
+    so a wrong suspicion costs latency but cannot block progress or
+    violate safety.
+
+    Args:
+        inner: the strategy producing the base order.
+    """
+
+    def __init__(self, inner: QuorumStrategy) -> None:
+        self._inner = inner
+        self._suspected: Set[ProcessId] = set()
+
+    def suspect(self, process: ProcessId) -> None:
+        """Mark a process as suspected (e.g. after a reply timeout)."""
+        self._suspected.add(process)
+
+    def unsuspect(self, process: ProcessId) -> None:
+        """Clear suspicion (e.g. after hearing from the process)."""
+        self._suspected.discard(process)
+
+    @property
+    def suspected(self) -> Set[ProcessId]:
+        """Currently suspected processes (a copy)."""
+        return set(self._suspected)
+
+    def order(self, universe: Sequence[ProcessId]) -> List[ProcessId]:
+        base = self._inner.order(universe)
+        healthy = [p for p in base if p not in self._suspected]
+        demoted = [p for p in base if p in self._suspected]
+        return healthy + demoted

@@ -1,0 +1,49 @@
+"""Reliability and cost models (paper Section 1.2, Figures 2 and 3).
+
+The paper motivates erasure coding with two analytic artifacts:
+
+* **Figure 2** — mean time to data loss (MTTDL, years) versus logical
+  capacity for five system designs: striping over reliable RAID-5
+  bricks, 4-way replication over RAID-0 or RAID-5 bricks, and 5-of-8
+  erasure coding over RAID-0 or RAID-5 bricks.
+* **Figure 3** — storage overhead (raw / logical capacity) versus the
+  MTTDL requirement for replication- and erasure-based systems, at a
+  fixed 256 TB logical capacity.
+
+We rebuild the models from first principles: component failure/repair
+parameters extrapolated from commodity hardware (Asami's thesis [3] is
+the paper's source; :mod:`repro.reliability.components` documents our
+constants), brick-level data-loss rates for RAID-0 and RAID-5
+internals, a birth-death Markov chain for group MTTDL
+(:mod:`repro.reliability.markov`), and system-level composition for
+striping / k-way replication / m-of-n erasure coding
+(:mod:`repro.reliability.mttdl`).  :mod:`repro.reliability.overhead`
+inverts the model for Figure 3: cheapest configuration meeting an
+MTTDL target.
+"""
+
+from .components import BrickParams, DiskParams, brick_failure_rate
+from .markov import birth_death_mttdl, closed_form_mttdl
+from .mttdl import (
+    ErasureCodedSystem,
+    ReplicationSystem,
+    StripingSystem,
+    SystemModel,
+)
+from .overhead import OverheadPoint, cheapest_erasure_code, cheapest_replication, overhead_curve
+
+__all__ = [
+    "DiskParams",
+    "BrickParams",
+    "brick_failure_rate",
+    "birth_death_mttdl",
+    "closed_form_mttdl",
+    "SystemModel",
+    "StripingSystem",
+    "ReplicationSystem",
+    "ErasureCodedSystem",
+    "OverheadPoint",
+    "cheapest_replication",
+    "cheapest_erasure_code",
+    "overhead_curve",
+]

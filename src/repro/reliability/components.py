@@ -1,0 +1,144 @@
+"""Component reliability parameters.
+
+The paper extrapolates brick and network reliability from the
+component-level numbers in Asami's thesis [3].  We adopt
+commodity-hardware constants of the same era and order of magnitude;
+Figures 2-3 depend on ratios and exponents, not on the third
+significant digit, so the reproduced *shapes* are insensitive to the
+exact values (EXPERIMENTS.md reports sensitivity).
+
+A brick is a small storage appliance: ``disks_per_brick`` commodity
+drives plus shared electronics (controller, NIC, PSU — the
+"enclosure").  Brick-level data loss depends on the internal redundancy:
+
+* **RAID-0** — any disk failure loses the brick's data; the brick's
+  data-loss rate is ``d * lambda_disk + lambda_enclosure``.
+* **RAID-5** — a disk failure is repaired online (hot spare) in
+  ``disk_repair_hours``; data is lost only when a second disk fails
+  during the rebuild window, at the classic rate
+  ``d * (d-1) * lambda_disk^2 * repair_time``, plus enclosure failures.
+
+RAID-5 internals also shave capacity: one disk's worth of parity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = ["DiskParams", "BrickParams", "brick_failure_rate", "HOURS_PER_YEAR"]
+
+#: Hours in a (Julian) year, for MTTDL unit conversion.
+HOURS_PER_YEAR = 8766.0
+
+
+@dataclass(frozen=True)
+class DiskParams:
+    """One commodity disk drive.
+
+    Attributes:
+        mttf_hours: mean time to failure (datasheet-class value; 500k
+            hours was typical for 2004 commodity SATA).
+        capacity_tb: usable capacity in TB.
+        repair_hours: online rebuild time after a disk is replaced
+            (RAID-5 internal repair window).
+    """
+
+    mttf_hours: float = 500_000.0
+    capacity_tb: float = 0.25
+    repair_hours: float = 24.0
+
+    def __post_init__(self) -> None:
+        if min(self.mttf_hours, self.capacity_tb, self.repair_hours) <= 0:
+            raise ConfigurationError("disk parameters must be positive")
+
+    @property
+    def failure_rate(self) -> float:
+        """Failures per hour."""
+        return 1.0 / self.mttf_hours
+
+
+@dataclass(frozen=True)
+class BrickParams:
+    """One storage brick.
+
+    Attributes:
+        disk: the member-disk parameters.
+        disks_per_brick: drive count (d).
+        enclosure_mttf_hours: MTTF of the shared electronics; its
+            failure takes the whole brick down.
+        brick_repair_hours: time to re-protect a dead brick's data by
+            rebuilding it from the surviving bricks — the cross-brick
+            repair window the system-level Markov model uses.  FAB
+            rebuilds are *distributed* (every surviving brick
+            contributes), so the window is hours, not days: a ~3 TB
+            brick at a few hundred MB/s aggregate rebuild bandwidth
+            recovers in roughly 6 hours.
+        internal_raid: ``"r0"`` or ``"r5"``.
+        reliable_array: model a high-end dual-controller array instead
+            of a commodity brick (used for Figure 2's "striping over
+            reliable R5 bricks" line): enclosure MTTF is boosted 10x.
+    """
+
+    disk: DiskParams = DiskParams()
+    disks_per_brick: int = 12
+    enclosure_mttf_hours: float = 750_000.0
+    brick_repair_hours: float = 6.0
+    internal_raid: str = "r0"
+    reliable_array: bool = False
+
+    def __post_init__(self) -> None:
+        if self.internal_raid not in ("r0", "r5"):
+            raise ConfigurationError(
+                f"internal_raid must be 'r0' or 'r5', got {self.internal_raid!r}"
+            )
+        if self.disks_per_brick < 2:
+            raise ConfigurationError("bricks need at least 2 disks")
+
+    @property
+    def capacity_tb(self) -> float:
+        """Usable brick capacity (RAID-5 loses one disk to parity)."""
+        usable_disks = (
+            self.disks_per_brick - 1
+            if self.internal_raid == "r5"
+            else self.disks_per_brick
+        )
+        return usable_disks * self.disk.capacity_tb
+
+    @property
+    def capacity_overhead(self) -> float:
+        """Raw/usable capacity ratio of the brick itself."""
+        if self.internal_raid == "r5":
+            return self.disks_per_brick / (self.disks_per_brick - 1)
+        return 1.0
+
+    @property
+    def data_loss_rate(self) -> float:
+        """Brick data-loss events per hour (loses the brick's data)."""
+        return brick_failure_rate(self)
+
+    @property
+    def mttf_hours(self) -> float:
+        """Mean time between brick data-loss events."""
+        return 1.0 / self.data_loss_rate
+
+
+def brick_failure_rate(brick: BrickParams) -> float:
+    """Data-loss rate (per hour) of a single brick.
+
+    RAID-0: any of d disks, or the enclosure.  RAID-5: double disk
+    failure within the rebuild window, or the enclosure.
+    """
+    d = brick.disks_per_brick
+    lam = brick.disk.failure_rate
+    enclosure_mttf = brick.enclosure_mttf_hours * (
+        10.0 if brick.reliable_array else 1.0
+    )
+    lam_enclosure = 1.0 / enclosure_mttf
+    if brick.internal_raid == "r0":
+        return d * lam + lam_enclosure
+    # RAID-5: first failure at rate d*lam; data lost if any of the
+    # remaining d-1 disks fails within the repair window.
+    lam_double = d * lam * (d - 1) * lam * brick.disk.repair_hours
+    return lam_double + lam_enclosure

@@ -1,0 +1,125 @@
+"""Storage-overhead-versus-MTTDL solver (Figure 3).
+
+For a fixed logical capacity (256 TB in the paper), Figure 3 asks: how
+much raw storage must each design buy to meet a given MTTDL
+requirement?  Replication answers by adding whole copies; erasure
+coding answers by adding parity bricks to the stripe (``m`` fixed at 5,
+``n`` grows) — which is why its curve rises so much more slowly.
+
+:func:`cheapest_replication` / :func:`cheapest_erasure_code` find the
+minimal configuration meeting a target, and :func:`overhead_curve`
+sweeps targets to regenerate the figure's series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..errors import ConfigurationError
+from .components import BrickParams
+from .mttdl import ErasureCodedSystem, ReplicationSystem
+
+__all__ = [
+    "OverheadPoint",
+    "cheapest_replication",
+    "cheapest_erasure_code",
+    "overhead_curve",
+]
+
+
+@dataclass(frozen=True)
+class OverheadPoint:
+    """One point on a Figure 3 curve."""
+
+    required_mttdl_years: float
+    overhead: float
+    achieved_mttdl_years: float
+    config: str
+
+
+def cheapest_replication(
+    target_mttdl_years: float,
+    logical_capacity_tb: float,
+    brick: BrickParams,
+    placement: str = "random",
+    max_replicas: int = 12,
+    segment_gb: float = 16.0,
+) -> Optional[OverheadPoint]:
+    """Fewest replicas meeting the MTTDL target; None if unreachable."""
+    for replicas in range(1, max_replicas + 1):
+        system = ReplicationSystem(
+            brick=brick, placement=placement, replicas=replicas,
+            segment_gb=segment_gb,
+        )
+        achieved = system.mttdl_years(logical_capacity_tb)
+        if achieved >= target_mttdl_years:
+            return OverheadPoint(
+                required_mttdl_years=target_mttdl_years,
+                overhead=system.total_overhead,
+                achieved_mttdl_years=achieved,
+                config=f"{replicas}-way/{brick.internal_raid}",
+            )
+    return None
+
+
+def cheapest_erasure_code(
+    target_mttdl_years: float,
+    logical_capacity_tb: float,
+    brick: BrickParams,
+    m: int = 5,
+    placement: str = "random",
+    max_n: int = 30,
+    segment_gb: float = 16.0,
+) -> Optional[OverheadPoint]:
+    """Smallest ``n`` for EC(m, n) meeting the MTTDL target."""
+    if m < 1:
+        raise ConfigurationError(f"m must be >= 1, got {m}")
+    for n in range(m, max_n + 1):
+        system = ErasureCodedSystem(
+            brick=brick, placement=placement, m=m, n=n, segment_gb=segment_gb
+        )
+        achieved = system.mttdl_years(logical_capacity_tb)
+        if achieved >= target_mttdl_years:
+            return OverheadPoint(
+                required_mttdl_years=target_mttdl_years,
+                overhead=system.total_overhead,
+                achieved_mttdl_years=achieved,
+                config=f"EC({m},{n})/{brick.internal_raid}",
+            )
+    return None
+
+
+def overhead_curve(
+    targets_years: Sequence[float],
+    logical_capacity_tb: float,
+    brick: BrickParams,
+    scheme: str,
+    m: int = 5,
+    placement: str = "random",
+    segment_gb: float = 16.0,
+) -> List[OverheadPoint]:
+    """One Figure 3 series: overhead at each MTTDL requirement.
+
+    Args:
+        scheme: ``"replication"`` or ``"erasure"``.
+    """
+    if scheme not in ("replication", "erasure"):
+        raise ConfigurationError(
+            f"scheme must be 'replication' or 'erasure', got {scheme!r}"
+        )
+    points: List[OverheadPoint] = []
+    for target in targets_years:
+        if scheme == "replication":
+            point = cheapest_replication(
+                target, logical_capacity_tb, brick, placement,
+                segment_gb=segment_gb,
+            )
+        else:
+            point = cheapest_erasure_code(
+                target, logical_capacity_tb, brick, m, placement,
+                segment_gb=segment_gb,
+            )
+        if point is not None:
+            points.append(point)
+    return points

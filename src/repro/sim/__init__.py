@@ -1,0 +1,53 @@
+"""Deterministic discrete-event simulation substrate.
+
+The paper's model (Section 2) is an asynchronous message-passing system:
+no bound on message delay or processing time, crash-recovery processes,
+fair-loss channels that may drop and reorder messages.  This subpackage
+implements exactly that model as a deterministic discrete-event
+simulator, so protocol runs are reproducible from a seed and failure
+schedules can be scripted precisely (e.g. "crash the coordinator after
+its second Write message").
+
+Layers:
+
+* :mod:`repro.sim.kernel` — the event loop: processes as Python
+  generators, timeouts, composite events, interrupts.
+* :mod:`repro.sim.network` — fair-loss network with configurable delay
+  distributions, drop/duplicate probabilities, and partitions.
+* :mod:`repro.sim.node` — crash-recovery nodes with persistent stable
+  storage and a disk model.
+* :mod:`repro.sim.failures` — failure injectors (scheduled and random
+  crash/recovery, message-count triggers).
+* :mod:`repro.sim.monitor` — metric counters (messages, bytes, disk
+  I/O, latency) backing the Table 1 measurements.
+"""
+
+from .kernel import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    Timeout,
+)
+from .monitor import Metrics, OpMetrics
+from .network import Message, Network, NetworkConfig
+from .node import Node, StableStore
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "Network",
+    "NetworkConfig",
+    "Message",
+    "Node",
+    "StableStore",
+    "Metrics",
+    "OpMetrics",
+]

@@ -1,0 +1,186 @@
+"""Failure injection.
+
+The protocol's headline claim is correctness "for all patterns of crash
+failures and subsequent recoveries".  These injectors script such
+patterns against a set of :class:`~repro.sim.node.Node` objects:
+
+* :class:`ScheduledFailures` — crash/recover specific nodes at specific
+  simulated times (deterministic scenarios like Figure 5);
+* :class:`RandomFailures` — Poisson-ish random crash/recovery churn with
+  a cap on concurrently-down nodes (keeping a live quorum available);
+* :class:`MessageCountTrigger` — crash a node after it has sent a given
+  number of messages, the precise way to cut a coordinator mid-protocol
+  (e.g. "crash after the first Write reaches only 4 replicas").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..types import ProcessId
+from .kernel import Environment
+from .network import Network
+from .node import Node
+
+__all__ = [
+    "FailureEvent",
+    "ScheduledFailures",
+    "RandomFailures",
+    "MessageCountTrigger",
+]
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One scripted lifecycle change: crash or recover ``node`` at ``time``."""
+
+    time: float
+    process_id: ProcessId
+    action: str  # "crash" | "recover"
+
+    def __post_init__(self) -> None:
+        if self.action not in ("crash", "recover"):
+            raise ValueError(f"action must be crash|recover, got {self.action}")
+
+
+class ScheduledFailures:
+    """Apply a deterministic list of :class:`FailureEvent` at their times."""
+
+    def __init__(
+        self,
+        env: Environment,
+        nodes: Dict[ProcessId, Node],
+        events: Sequence[FailureEvent],
+    ) -> None:
+        self.env = env
+        self.nodes = nodes
+        self.events = sorted(events, key=lambda e: e.time)
+        self.applied: List[FailureEvent] = []
+        for event in self.events:
+            timer = env.timeout(max(0.0, event.time - env.now))
+            timer._add_callback(lambda _t, e=event: self._apply(e))
+
+    def _apply(self, event: FailureEvent) -> None:
+        node = self.nodes.get(event.process_id)
+        if node is None:
+            return
+        if event.action == "crash":
+            node.crash()
+        else:
+            node.recover()
+        self.applied.append(event)
+
+
+class RandomFailures:
+    """Random crash/recovery churn with bounded concurrent failures.
+
+    Every ``check_interval`` time units, each up node crashes with
+    probability ``crash_probability`` (unless ``max_down`` nodes are
+    already down), and each down node recovers with probability
+    ``recovery_probability``.
+
+    Args:
+        max_down: cap on simultaneously crashed nodes.  Set to the
+            quorum system's ``f`` to guarantee liveness; set higher to
+            stress safety under quorum loss.
+        horizon: stop injecting after this simulated time.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        nodes: Dict[ProcessId, Node],
+        max_down: int,
+        crash_probability: float = 0.1,
+        recovery_probability: float = 0.5,
+        check_interval: float = 10.0,
+        horizon: float = 1e9,
+        seed: int = 0,
+    ) -> None:
+        self.env = env
+        self.nodes = nodes
+        self.max_down = max_down
+        self.crash_probability = crash_probability
+        self.recovery_probability = recovery_probability
+        self.check_interval = check_interval
+        self.horizon = horizon
+        self.crashes_injected = 0
+        self.recoveries_injected = 0
+        self._rng = random.Random(seed)
+        self._schedule_next()
+
+    def _down_count(self) -> int:
+        return sum(1 for node in self.nodes.values() if not node.is_up)
+
+    def _schedule_next(self) -> None:
+        if self.env.now >= self.horizon:
+            return
+        timer = self.env.timeout(self.check_interval)
+        timer._add_callback(lambda _t: self._tick())
+
+    def _tick(self) -> None:
+        for node in self.nodes.values():
+            if node.is_up:
+                if (
+                    self._down_count() < self.max_down
+                    and self._rng.random() < self.crash_probability
+                ):
+                    node.crash()
+                    self.crashes_injected += 1
+            else:
+                if self._rng.random() < self.recovery_probability:
+                    node.recover()
+                    self.recoveries_injected += 1
+        self._schedule_next()
+
+
+class MessageCountTrigger:
+    """Crash a node after it sends its ``count``-th message.
+
+    Wraps the network's send path, so the crash lands between two
+    protocol messages — the exact mechanism for constructing partial
+    writes ("coordinator crashed after updating 4 of 6 replicas").
+
+    Args:
+        network: the network whose ``send`` is instrumented.
+        node: node to crash.
+        count: crash immediately after this many messages from the node.
+        payload_type: if given, count only payloads of this type.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        node: Node,
+        count: int,
+        payload_type: Optional[type] = None,
+    ) -> None:
+        self.node = node
+        self.count = count
+        self.payload_type = payload_type
+        self.fired = False
+        self._seen = 0
+        self._original_send = network.send
+        network.send = self._instrumented_send  # type: ignore[assignment]
+        self._network = network
+
+    def _instrumented_send(self, src, dst, payload, size=0):
+        if (
+            not self.fired
+            and src == self.node.process_id
+            and (self.payload_type is None or isinstance(payload, self.payload_type))
+        ):
+            self._seen += 1
+            if self._seen >= self.count:
+                # Deliver this last message, then crash.
+                self._original_send(src, dst, payload, size)
+                self.fired = True
+                self.node.crash()
+                return
+        self._original_send(src, dst, payload, size)
+
+    def uninstall(self) -> None:
+        """Restore the network's original send path."""
+        self._network.send = self._original_send  # type: ignore[assignment]

@@ -1,0 +1,153 @@
+"""Metric counters for protocol measurement.
+
+Table 1 of the paper reports, per operation type: latency (in units of
+the one-way message delay δ), message count, disk reads, disk writes,
+and network bandwidth.  :class:`Metrics` is the global sink the network
+and node layers report into; :class:`OpMetrics` scopes counters to a
+single register operation so benchmarks can attribute costs per
+operation and per fast/slow path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["Metrics", "OpMetrics"]
+
+
+@dataclass
+class OpMetrics:
+    """Counters for one register operation.
+
+    Attributes:
+        kind: operation label, e.g. ``"read-stripe"``.
+        path: ``"fast"`` or ``"slow"``; set by the coordinator when the
+            operation completes.
+        messages: protocol messages sent on behalf of the operation
+            (requests plus replies, as in Table 1's accounting).
+        bytes_sent: total payload bytes moved over the network.
+        disk_reads: replica log/block reads (timestamps live in NVRAM
+            and are not counted, matching the paper's convention).
+        disk_writes: replica log/block writes.
+        round_trips: number of request-reply phases (latency is
+            ``2 * round_trips`` in δ units).
+        started_at / finished_at: simulated wall-clock bounds.
+        aborted: True if the operation returned ⊥.
+    """
+
+    kind: str
+    path: str = "fast"
+    messages: int = 0
+    bytes_sent: int = 0
+    disk_reads: int = 0
+    disk_writes: int = 0
+    round_trips: int = 0
+    started_at: float = 0.0
+    finished_at: Optional[float] = None
+    aborted: bool = False
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Simulated duration, if finished."""
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    @property
+    def latency_in_delta(self) -> int:
+        """Latency in δ units (one-way hops): two per round trip."""
+        return 2 * self.round_trips
+
+
+class Metrics:
+    """Global metric sink with an optional per-operation context.
+
+    The network and node layers call :meth:`count_message`,
+    :meth:`count_disk_read`, and :meth:`count_disk_write`; whatever
+    operation context is current absorbs the counts in addition to the
+    global totals.
+    """
+
+    def __init__(self) -> None:
+        self.total_messages = 0
+        self.total_bytes = 0
+        self.total_disk_reads = 0
+        self.total_disk_writes = 0
+        self.dropped_messages = 0
+        self.operations: List[OpMetrics] = []
+        self._current: Optional[OpMetrics] = None
+
+    # -- operation scoping ---------------------------------------------
+
+    def begin_op(self, kind: str, now: float) -> OpMetrics:
+        """Open a per-operation context; returns its counter object."""
+        op = OpMetrics(kind=kind, started_at=now)
+        self.operations.append(op)
+        self._current = op
+        return op
+
+    def end_op(self, op: OpMetrics, now: float, aborted: bool = False) -> None:
+        """Close an operation context."""
+        op.finished_at = now
+        op.aborted = aborted
+        if self._current is op:
+            self._current = None
+
+    # -- counting hooks --------------------------------------------------
+
+    def count_message(self, size: int) -> None:
+        """Record one protocol message of ``size`` payload bytes."""
+        self.total_messages += 1
+        self.total_bytes += size
+        if self._current is not None:
+            self._current.messages += 1
+            self._current.bytes_sent += size
+
+    def count_drop(self) -> None:
+        """Record a message dropped by the network."""
+        self.dropped_messages += 1
+
+    def count_disk_read(self, blocks: int = 1) -> None:
+        """Record replica disk reads."""
+        self.total_disk_reads += blocks
+        if self._current is not None:
+            self._current.disk_reads += blocks
+
+    def count_disk_write(self, blocks: int = 1) -> None:
+        """Record replica disk writes."""
+        self.total_disk_writes += blocks
+        if self._current is not None:
+            self._current.disk_writes += blocks
+
+    def count_round_trip(self) -> None:
+        """Record one request-reply messaging phase."""
+        if self._current is not None:
+            self._current.round_trips += 1
+
+    # -- reporting -------------------------------------------------------
+
+    def by_kind_and_path(self) -> Dict[str, List[OpMetrics]]:
+        """Group finished operations by ``"kind/path"`` label."""
+        groups: Dict[str, List[OpMetrics]] = {}
+        for op in self.operations:
+            if op.finished_at is None:
+                continue
+            groups.setdefault(f"{op.kind}/{op.path}", []).append(op)
+        return groups
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Mean counters per operation group — the measured Table 1 rows."""
+        result: Dict[str, Dict[str, float]] = {}
+        for label, ops in self.by_kind_and_path().items():
+            count = len(ops)
+            result[label] = {
+                "count": count,
+                "messages": sum(o.messages for o in ops) / count,
+                "bytes": sum(o.bytes_sent for o in ops) / count,
+                "disk_reads": sum(o.disk_reads for o in ops) / count,
+                "disk_writes": sum(o.disk_writes for o in ops) / count,
+                "latency_delta": sum(o.latency_in_delta for o in ops) / count,
+                "abort_rate": sum(1 for o in ops if o.aborted) / count,
+            }
+        return result

@@ -1,0 +1,212 @@
+"""A fair-loss asynchronous network (paper Section 2).
+
+Channels may reorder or drop messages but never (undetectably) corrupt
+them, and they are fair-lossy: a message retransmitted forever to a
+correct process is delivered infinitely often.  We model this with
+per-message independent drop probability, randomized latency (which
+yields reordering), optional duplication, and explicit partitions.
+
+Delivery calls the destination node's ``deliver`` hook; nodes that are
+crashed simply lose the message, which is indistinguishable from a drop
+— exactly the asynchrony the protocol must cope with.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Set
+
+from ..errors import ConfigurationError, SimulationError
+from ..types import ProcessId
+from .kernel import Environment
+from .monitor import Metrics
+
+__all__ = ["NetworkConfig", "Message", "Network"]
+
+
+@dataclass
+class NetworkConfig:
+    """Tunable network behaviour.
+
+    Attributes:
+        min_latency / max_latency: one-way delay bounds; each message
+            draws uniformly from the range.  ``delta`` — the paper's
+            maximum one-way delay — equals ``max_latency``.
+        drop_probability: independent per-message loss probability.
+        duplicate_probability: probability a delivered message is
+            delivered twice.
+        jitter_seed: seed for the network's private RNG, making runs
+            reproducible.
+    """
+
+    min_latency: float = 1.0
+    max_latency: float = 1.0
+    drop_probability: float = 0.0
+    duplicate_probability: float = 0.0
+    jitter_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.min_latency < 0 or self.max_latency < self.min_latency:
+            raise ConfigurationError(
+                f"need 0 <= min_latency <= max_latency, got "
+                f"{self.min_latency}, {self.max_latency}"
+            )
+        if not 0.0 <= self.drop_probability < 1.0:
+            raise ConfigurationError(
+                f"drop_probability must be in [0, 1), got {self.drop_probability}"
+            )
+        if not 0.0 <= self.duplicate_probability <= 1.0:
+            raise ConfigurationError(
+                "duplicate_probability must be in [0, 1], got "
+                f"{self.duplicate_probability}"
+            )
+
+    @property
+    def delta(self) -> float:
+        """The paper's δ: the maximum one-way messaging delay."""
+        return self.max_latency
+
+
+@dataclass(frozen=True)
+class Message:
+    """A network message.
+
+    Attributes:
+        src / dst: endpoint process ids.
+        payload: arbitrary protocol payload (a messages.py dataclass).
+        size: payload size in bytes for bandwidth accounting.
+    """
+
+    src: ProcessId
+    dst: ProcessId
+    payload: Any
+    size: int = 0
+
+
+class Network:
+    """Routes messages between registered endpoints with fair-loss semantics.
+
+    Args:
+        env: the simulation environment.
+        config: network behaviour knobs.
+        metrics: optional metric sink for message/bandwidth counting.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        config: Optional[NetworkConfig] = None,
+        metrics: Optional[Metrics] = None,
+    ) -> None:
+        self.env = env
+        self.config = config or NetworkConfig()
+        self.metrics = metrics or Metrics()
+        self._rng = random.Random(self.config.jitter_seed)
+        self._endpoints: Dict[ProcessId, Callable[[Message], None]] = {}
+        self._partitions: Set[frozenset] = set()
+        self._down: Set[ProcessId] = set()
+
+    # -- membership ------------------------------------------------------
+
+    def register(
+        self, process_id: ProcessId, deliver: Callable[[Message], None]
+    ) -> None:
+        """Attach an endpoint; ``deliver`` is invoked per arriving message."""
+        if process_id in self._endpoints:
+            raise SimulationError(f"endpoint {process_id} already registered")
+        self._endpoints[process_id] = deliver
+
+    def unregister(self, process_id: ProcessId) -> None:
+        """Detach an endpoint (messages to it are silently lost)."""
+        self._endpoints.pop(process_id, None)
+
+    # -- failure surface ---------------------------------------------------
+
+    def set_down(self, process_id: ProcessId, down: bool) -> None:
+        """Mark an endpoint crashed; messages to/from it are lost."""
+        if down:
+            self._down.add(process_id)
+        else:
+            self._down.discard(process_id)
+
+    def partition(self, group_a: Set[ProcessId], group_b: Set[ProcessId]) -> None:
+        """Install a bidirectional partition between two groups."""
+        for a in group_a:
+            for b in group_b:
+                self._partitions.add(frozenset((a, b)))
+
+    def heal_partition(
+        self, group_a: Optional[Set[ProcessId]] = None,
+        group_b: Optional[Set[ProcessId]] = None,
+    ) -> None:
+        """Remove partitions; with no arguments, heal everything."""
+        if group_a is None or group_b is None:
+            self._partitions.clear()
+            return
+        for a in group_a:
+            for b in group_b:
+                self._partitions.discard(frozenset((a, b)))
+
+    def is_partitioned(self, a: ProcessId, b: ProcessId) -> bool:
+        """True iff a partition separates ``a`` and ``b``."""
+        return frozenset((a, b)) in self._partitions
+
+    # -- sending -----------------------------------------------------------
+
+    def send(
+        self, src: ProcessId, dst: ProcessId, payload: Any, size: int = 0
+    ) -> None:
+        """Send one message (fire-and-forget, may be lost).
+
+        Local delivery (``src == dst``) still goes through the event
+        queue (with latency) so a coordinator talking to its own replica
+        behaves like any other pair — the paper makes no locality
+        assumption.
+        """
+        message = Message(src=src, dst=dst, payload=payload, size=size)
+        self.metrics.count_message(size)
+        if src in self._down or dst in self._down:
+            self.metrics.count_drop()
+            return
+        if self.is_partitioned(src, dst):
+            self.metrics.count_drop()
+            return
+        if (
+            self.config.drop_probability > 0
+            and self._rng.random() < self.config.drop_probability
+        ):
+            self.metrics.count_drop()
+            return
+        self._deliver_later(message)
+        if (
+            self.config.duplicate_probability > 0
+            and self._rng.random() < self.config.duplicate_probability
+        ):
+            self._deliver_later(message)
+
+    def _deliver_later(self, message: Message) -> None:
+        latency = self._rng.uniform(
+            self.config.min_latency, self.config.max_latency
+        )
+        timer = self.env.timeout(latency)
+        timer._add_callback(lambda _event: self._deliver(message))
+
+    def _deliver(self, message: Message) -> None:
+        # Re-check state at delivery time: the destination may have
+        # crashed, or a partition may have appeared, while the message
+        # was in flight.  A *source* crash after send does NOT retract
+        # the message — a coordinator's writes sent just before it died
+        # still land, which is precisely how partial writes arise
+        # (paper Figure 5).
+        if message.dst in self._down:
+            self.metrics.count_drop()
+            return
+        if self.is_partitioned(message.src, message.dst):
+            self.metrics.count_drop()
+            return
+        endpoint = self._endpoints.get(message.dst)
+        if endpoint is None:
+            self.metrics.count_drop()
+            return
+        endpoint(message)

@@ -1,0 +1,168 @@
+"""Crash-recovery nodes with persistent storage.
+
+A node models one brick: volatile state, a :class:`StableStore` that
+survives crashes (the paper's ``store(var)`` primitive, Section 4.2),
+and a deliver hook wired into the network.  Crashing a node drops its
+volatile state, interrupts every in-flight coordinator process it owns
+(producing partial operations), and silences its message handling until
+recovery.
+"""
+
+from __future__ import annotations
+
+import copy
+import pickle
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from ..errors import StorageError
+from ..types import ProcessId
+from .kernel import Environment, Process
+from .monitor import Metrics
+from .network import Message, Network
+
+__all__ = ["StableStore", "Node"]
+
+
+class StableStore:
+    """Per-node persistent key-value storage (the ``store`` primitive).
+
+    Values are deep-copied on write so later in-memory mutation cannot
+    retroactively change "disk" contents — the classic aliasing bug in
+    storage simulators.  Disk I/O is *not* counted here; the replica
+    layer counts logical block reads/writes per the paper's accounting
+    (timestamps live in NVRAM and are free).
+    """
+
+    def __init__(self) -> None:
+        self._data: Dict[str, Any] = {}
+
+    def store(self, key: str, value: Any) -> None:
+        """Atomically persist ``value`` under ``key``."""
+        self._data[key] = copy.deepcopy(value)
+
+    def load(self, key: str, default: Any = None) -> Any:
+        """Recover the most recently stored value (deep copy)."""
+        if key in self._data:
+            return copy.deepcopy(self._data[key])
+        return default
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def keys(self) -> List[str]:
+        """All stored keys."""
+        return list(self._data)
+
+    def size_bytes(self) -> int:
+        """Approximate persisted size (pickle length) — used by GC tests."""
+        return sum(
+            len(pickle.dumps(value)) for value in self._data.values()
+        )
+
+
+class Node:
+    """A brick: endpoint + stable storage + crash/recovery lifecycle.
+
+    Args:
+        env: simulation environment.
+        network: the network to register with.
+        process_id: this node's id in ``1..n``.
+        metrics: metric sink shared with the network.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        process_id: ProcessId,
+        metrics: Optional[Metrics] = None,
+    ) -> None:
+        self.env = env
+        self.network = network
+        self.process_id = process_id
+        self.metrics = metrics or network.metrics
+        self.stable = StableStore()
+        self._up = True
+        self._handlers: Dict[type, Callable[[ProcessId, Any], None]] = {}
+        self._owned_processes: List[Process] = []
+        self._crash_count = 0
+        self._recovery_hooks: List[Callable[[], None]] = []
+        network.register(process_id, self._on_message)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def is_up(self) -> bool:
+        """True while the node is running."""
+        return self._up
+
+    @property
+    def crash_count(self) -> int:
+        """Number of crashes suffered so far."""
+        return self._crash_count
+
+    def crash(self) -> None:
+        """Crash the node: lose volatile state, kill owned processes.
+
+        Idempotent while down.  Stable storage survives.
+        """
+        if not self._up:
+            return
+        self._up = False
+        self._crash_count += 1
+        self.network.set_down(self.process_id, True)
+        owned, self._owned_processes = self._owned_processes, []
+        for process in owned:
+            process.interrupt("crash")
+
+    def recover(self) -> None:
+        """Restart the node; volatile state must be rebuilt by hooks."""
+        if self._up:
+            return
+        self._up = True
+        self.network.set_down(self.process_id, False)
+        for hook in self._recovery_hooks:
+            hook()
+
+    def on_recovery(self, hook: Callable[[], None]) -> None:
+        """Register a hook run after each recovery (state reload)."""
+        self._recovery_hooks.append(hook)
+
+    # -- messaging -----------------------------------------------------------
+
+    def register_handler(
+        self, payload_type: type, handler: Callable[[ProcessId, Any], None]
+    ) -> None:
+        """Dispatch arriving payloads of ``payload_type`` to ``handler``."""
+        self._handlers[payload_type] = handler
+
+    def send(self, dst: ProcessId, payload: Any, size: int = 0) -> None:
+        """Send a message from this node (dropped if the node is down)."""
+        if not self._up:
+            return
+        self.network.send(self.process_id, dst, payload, size)
+
+    def _on_message(self, message: Message) -> None:
+        if not self._up:
+            return
+        handler = self._handlers.get(type(message.payload))
+        if handler is not None:
+            handler(message.src, message.payload)
+
+    # -- process ownership -----------------------------------------------------
+
+    def spawn(self, generator: Generator) -> Process:
+        """Run a coordinator coroutine owned by this node.
+
+        If the node crashes, the process is interrupted — modelling a
+        coordinator that dies mid-operation.
+        """
+        if not self._up:
+            raise StorageError(
+                f"node {self.process_id} is down; cannot spawn a process"
+            )
+        # Prune finished processes opportunistically before adding.
+        self._owned_processes = [p for p in self._owned_processes if p.is_alive]
+        process = self.env.process(generator)
+        self._owned_processes.append(process)
+        return process

@@ -1,0 +1,117 @@
+"""Protocol message tracing.
+
+A :class:`MessageTracer` taps a network and records every send and
+delivery — time, endpoints, payload type, and fate (delivered, dropped)
+— into a bounded ring buffer.  Invaluable when a protocol test fails:
+``tracer.format()`` prints the message sequence chart of the failing
+run, and filters slice it by register, process, or message type.
+
+The tracer is an observer: it never alters delivery behaviour or
+metrics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, List, Optional
+
+from ..types import ProcessId
+from .network import Network
+
+__all__ = ["TraceEntry", "MessageTracer"]
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One traced network event."""
+
+    time: float
+    src: ProcessId
+    dst: ProcessId
+    payload_type: str
+    register_id: Optional[int]
+    request_id: Optional[int]
+    size: int
+
+    def __str__(self) -> str:
+        target = (
+            f" reg={self.register_id} req={self.request_id}"
+            if self.register_id is not None
+            else ""
+        )
+        return (
+            f"t={self.time:9.2f}  {self.src:>3} -> {self.dst:<3} "
+            f"{self.payload_type:<16}{target} ({self.size}B)"
+        )
+
+
+class MessageTracer:
+    """Records sends flowing through a network.
+
+    Args:
+        network: the network to tap.
+        capacity: ring-buffer size (oldest entries are evicted).
+    """
+
+    def __init__(self, network: Network, capacity: int = 10_000) -> None:
+        self.entries: Deque[TraceEntry] = deque(maxlen=capacity)
+        self._network = network
+        self._original_send = network.send
+        network.send = self._traced_send  # type: ignore[assignment]
+
+    def _traced_send(self, src, dst, payload, size=0):
+        self.entries.append(
+            TraceEntry(
+                time=self._network.env.now,
+                src=src,
+                dst=dst,
+                payload_type=type(payload).__name__,
+                register_id=getattr(payload, "register_id", None),
+                request_id=getattr(payload, "request_id", None),
+                size=size,
+            )
+        )
+        self._original_send(src, dst, payload, size)
+
+    def uninstall(self) -> None:
+        """Stop tracing; restores the network's original send path."""
+        self._network.send = self._original_send  # type: ignore[assignment]
+
+    # -- queries -----------------------------------------------------------
+
+    def filter(
+        self,
+        payload_type: Optional[str] = None,
+        register_id: Optional[int] = None,
+        endpoint: Optional[ProcessId] = None,
+        predicate: Optional[Callable[[TraceEntry], bool]] = None,
+    ) -> List[TraceEntry]:
+        """Entries matching every given criterion."""
+        result = []
+        for entry in self.entries:
+            if payload_type is not None and entry.payload_type != payload_type:
+                continue
+            if register_id is not None and entry.register_id != register_id:
+                continue
+            if endpoint is not None and endpoint not in (entry.src, entry.dst):
+                continue
+            if predicate is not None and not predicate(entry):
+                continue
+            result.append(entry)
+        return result
+
+    def count(self, payload_type: str) -> int:
+        """Number of traced sends of one message type."""
+        return len(self.filter(payload_type=payload_type))
+
+    def format(self, limit: int = 100, **filter_kwargs) -> str:
+        """A printable message sequence chart (last ``limit`` entries)."""
+        entries = self.filter(**filter_kwargs)[-limit:]
+        if not entries:
+            return "(no traced messages)"
+        return "\n".join(str(entry) for entry in entries)
+
+    def clear(self) -> None:
+        """Drop all recorded entries."""
+        self.entries.clear()

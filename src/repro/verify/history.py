@@ -1,0 +1,178 @@
+"""Operation history recording (paper Appendix B's histories).
+
+An :class:`OpRecord` captures one operation's invocation event, return
+or crash event, and value.  The :class:`HistoryRecorder` produces them
+from live simulation processes: it wraps a register operation, stamps
+invocation/response times from the simulation clock, and marks the
+record ``CRASHED`` if the coordinator died mid-operation — giving the
+checker exactly the partial operations strict linearizability is about.
+
+Per Appendix B, correctness is checked per block: stripe-level
+operations are projected onto each block index they touch via
+:meth:`HistoryRecorder.per_block_history`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..sim.kernel import Environment, Process
+from ..types import ABORT, OpKind, OpStatus
+
+__all__ = ["OpRecord", "HistoryRecorder"]
+
+
+@dataclass
+class OpRecord:
+    """One operation in a history.
+
+    Attributes:
+        op_id: unique id within the history.
+        kind: which register method.
+        block_index: 1-based block the operation targets (block ops), or
+            ``None`` for stripe ops.
+        value: for writes, the value written (stripe list or block
+            bytes); for reads, the value returned (filled at completion).
+        t_inv: invocation time.
+        t_resp: return/crash time (``None`` while pending).
+        status: OK / ABORTED / CRASHED / PENDING.
+        coordinator: process id of the coordinating brick.
+    """
+
+    op_id: int
+    kind: OpKind
+    block_index: Optional[int]
+    value: object
+    t_inv: float
+    t_resp: Optional[float] = None
+    status: OpStatus = OpStatus.PENDING
+    coordinator: Optional[int] = None
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind in (OpKind.WRITE_STRIPE, OpKind.WRITE_BLOCK)
+
+    @property
+    def is_read(self) -> bool:
+        return not self.is_write
+
+    def block_value(self, index: int):
+        """Project this operation's value onto block ``index`` (1-based).
+
+        Returns the written/read value of that block, or ``None`` if the
+        op does not involve it.  A nil stripe projects to nil blocks.
+        """
+        if self.kind in (OpKind.READ_BLOCK, OpKind.WRITE_BLOCK):
+            return self.value if self.block_index == index else None
+        if self.value is None:
+            return None
+        if isinstance(self.value, (list, tuple)) and len(self.value) >= index:
+            return self.value[index - 1]
+        return None
+
+
+class HistoryRecorder:
+    """Collects operation records from live register operations."""
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self.records: List[OpRecord] = []
+        self._ids = itertools.count(1)
+
+    # -- recording -------------------------------------------------------------
+
+    def track(
+        self,
+        process: Process,
+        kind: OpKind,
+        value: object = None,
+        block_index: Optional[int] = None,
+        coordinator: Optional[int] = None,
+    ) -> OpRecord:
+        """Attach a record to a running operation process.
+
+        For writes pass the value being written; for reads the value is
+        captured from the process result.  The record finalizes
+        automatically when the process ends — including by interrupt
+        (coordinator crash), which marks it ``CRASHED``.
+        """
+        record = OpRecord(
+            op_id=next(self._ids),
+            kind=kind,
+            block_index=block_index,
+            value=value,
+            t_inv=self.env.now,
+            coordinator=coordinator,
+        )
+        self.records.append(record)
+
+        def finalize(event) -> None:
+            record.t_resp = self.env.now
+            if not event.ok:
+                record.status = OpStatus.CRASHED
+                return
+            result = event.value
+            if result is ABORT:
+                record.status = OpStatus.ABORTED
+            else:
+                record.status = OpStatus.OK
+                if record.is_read:
+                    record.value = result
+
+        process._add_callback(finalize)
+        return record
+
+    def close(self) -> None:
+        """Stamp still-pending records as pending at the current time."""
+        for record in self.records:
+            if record.t_resp is None:
+                record.t_resp = self.env.now
+                record.status = OpStatus.PENDING
+
+    # -- projection -------------------------------------------------------------
+
+    def per_block_history(self, index: int) -> List["OpRecord"]:
+        """The block-``index`` history H_i of Appendix B.
+
+        Stripe operations project to block operations on their
+        ``index``-th value; block operations on other indices are
+        dropped.
+        """
+        projected: List[OpRecord] = []
+        for record in self.records:
+            if record.kind in (OpKind.READ_BLOCK, OpKind.WRITE_BLOCK):
+                if record.block_index != index:
+                    continue
+                projected.append(record)
+            else:
+                value = record.block_value(index)
+                projected.append(
+                    OpRecord(
+                        op_id=record.op_id,
+                        kind=(
+                            OpKind.READ_BLOCK
+                            if record.is_read
+                            else OpKind.WRITE_BLOCK
+                        ),
+                        block_index=index,
+                        value=value,
+                        t_inv=record.t_inv,
+                        t_resp=record.t_resp,
+                        status=record.status,
+                        coordinator=record.coordinator,
+                    )
+                )
+        return projected
+
+    def block_indices(self, m: int) -> Sequence[int]:
+        """All block indices to check for a stripe of ``m`` blocks."""
+        return range(1, m + 1)
+
+    def summary(self) -> Dict[str, int]:
+        """Counts by terminal status."""
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            counts[record.status.value] = counts.get(record.status.value, 0) + 1
+        return counts

@@ -1,0 +1,216 @@
+"""Workload generators: access patterns, mixes, and conflict schedules."""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "AccessPattern",
+    "UniformPattern",
+    "ZipfPattern",
+    "HotspotPattern",
+    "SequentialPattern",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "ConflictSchedule",
+]
+
+
+class AccessPattern(abc.ABC):
+    """Chooses which logical block each operation touches."""
+
+    @abc.abstractmethod
+    def next_block(self, rng: random.Random, num_blocks: int) -> int:
+        """The next block index in ``0..num_blocks-1``."""
+
+
+class UniformPattern(AccessPattern):
+    """Uniformly random block choice — the conflict-minimizing pattern."""
+
+    def next_block(self, rng: random.Random, num_blocks: int) -> int:
+        return rng.randrange(num_blocks)
+
+
+class ZipfPattern(AccessPattern):
+    """Zipf-skewed choice: a hot set concentrates accesses.
+
+    Args:
+        exponent: skew parameter ``s`` (1.0 is classic Zipf; larger is
+            hotter).  Popularity rank is a random permutation of blocks,
+            fixed per pattern instance.
+    """
+
+    def __init__(self, exponent: float = 1.0, seed: int = 0) -> None:
+        if exponent <= 0:
+            raise ConfigurationError(f"exponent must be positive, got {exponent}")
+        self.exponent = exponent
+        self._perm_seed = seed
+        self._weights: Optional[List[float]] = None
+        self._perm: Optional[List[int]] = None
+        self._size = 0
+
+    def _prepare(self, num_blocks: int) -> None:
+        if self._weights is not None and self._size == num_blocks:
+            return
+        self._size = num_blocks
+        raw = [1.0 / (rank**self.exponent) for rank in range(1, num_blocks + 1)]
+        total = sum(raw)
+        self._weights = [w / total for w in raw]
+        perm_rng = random.Random(self._perm_seed)
+        self._perm = list(range(num_blocks))
+        perm_rng.shuffle(self._perm)
+
+    def next_block(self, rng: random.Random, num_blocks: int) -> int:
+        self._prepare(num_blocks)
+        return self._perm[
+            rng.choices(range(num_blocks), weights=self._weights, k=1)[0]
+        ]
+
+
+class HotspotPattern(AccessPattern):
+    """A fixed hot region absorbing most accesses (OLTP-style).
+
+    Args:
+        hot_fraction: fraction of the address space that is hot.
+        hot_probability: probability an access lands in the hot region.
+    """
+
+    def __init__(self, hot_fraction: float = 0.1,
+                 hot_probability: float = 0.9) -> None:
+        if not 0.0 < hot_fraction <= 1.0:
+            raise ConfigurationError(
+                f"hot_fraction must be in (0, 1], got {hot_fraction}"
+            )
+        if not 0.0 <= hot_probability <= 1.0:
+            raise ConfigurationError(
+                f"hot_probability must be in [0, 1], got {hot_probability}"
+            )
+        self.hot_fraction = hot_fraction
+        self.hot_probability = hot_probability
+
+    def next_block(self, rng: random.Random, num_blocks: int) -> int:
+        hot_size = max(1, int(num_blocks * self.hot_fraction))
+        if rng.random() < self.hot_probability:
+            return rng.randrange(hot_size)
+        if hot_size >= num_blocks:
+            return rng.randrange(num_blocks)
+        return hot_size + rng.randrange(num_blocks - hot_size)
+
+
+class SequentialPattern(AccessPattern):
+    """Strictly sequential scan, wrapping around — streaming workloads."""
+
+    def __init__(self, start: int = 0) -> None:
+        self._next = start
+
+    def next_block(self, rng: random.Random, num_blocks: int) -> int:
+        block = self._next % num_blocks
+        self._next += 1
+        return block
+
+
+@dataclass
+class WorkloadConfig:
+    """A block-workload recipe.
+
+    Attributes:
+        num_blocks: logical address space size.
+        read_fraction: P(an operation is a read).
+        pattern: the access pattern (defaults to uniform).
+        seed: RNG seed.
+    """
+
+    num_blocks: int
+    read_fraction: float = 0.7
+    pattern: AccessPattern = field(default_factory=UniformPattern)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_blocks < 1:
+            raise ConfigurationError("num_blocks must be >= 1")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ConfigurationError("read_fraction must be in [0, 1]")
+
+
+class WorkloadGenerator:
+    """Yields ``(op, block, payload_tag)`` tuples from a recipe.
+
+    ``op`` is ``"read"`` or ``"write"``; ``payload_tag`` is a unique
+    integer for writes (callers turn it into unique block contents,
+    satisfying the checker's unique-value assumption) and ``None`` for
+    reads.
+    """
+
+    def __init__(self, config: WorkloadConfig) -> None:
+        self.config = config
+        self._rng = random.Random(config.seed)
+        self._write_counter = 0
+
+    def __iter__(self) -> Iterator[Tuple[str, int, Optional[int]]]:
+        while True:
+            yield self.next_op()
+
+    def next_op(self) -> Tuple[str, int, Optional[int]]:
+        """Generate the next operation."""
+        block = self.config.pattern.next_block(self._rng, self.config.num_blocks)
+        if self._rng.random() < self.config.read_fraction:
+            return ("read", block, None)
+        self._write_counter += 1
+        return ("write", block, self._write_counter)
+
+    def ops(self, count: int) -> List[Tuple[str, int, Optional[int]]]:
+        """A finite batch of operations."""
+        return [self.next_op() for _ in range(count)]
+
+
+@dataclass
+class ConflictSchedule:
+    """Deliberately overlapping operations for the abort-rate ablation.
+
+    Generates rounds; in each round, ``writers`` distinct coordinators
+    write the *same* register within a ``spread`` time window (launch
+    times jittered inside it).  ``conflict_probability`` dials what
+    fraction of rounds actually collide; non-colliding rounds place the
+    writers on distinct registers.
+
+    Attributes:
+        num_registers: register pool size.
+        writers: concurrent coordinators per round.
+        spread: launch-time window width (simulated time units).
+        conflict_probability: P(round targets a single shared register).
+        seed: RNG seed.
+    """
+
+    num_registers: int
+    writers: int = 2
+    spread: float = 1.0
+    conflict_probability: float = 1.0
+    seed: int = 0
+
+    def rounds(self, count: int) -> List[List[Tuple[int, float]]]:
+        """``count`` rounds of ``(register_id, launch_offset)`` per writer."""
+        rng = random.Random(self.seed)
+        result: List[List[Tuple[int, float]]] = []
+        for _ in range(count):
+            collide = rng.random() < self.conflict_probability
+            if collide:
+                register = rng.randrange(self.num_registers)
+                round_ops = [
+                    (register, rng.uniform(0.0, self.spread))
+                    for _ in range(self.writers)
+                ]
+            else:
+                registers = rng.sample(
+                    range(self.num_registers), min(self.writers, self.num_registers)
+                )
+                round_ops = [
+                    (registers[i % len(registers)], rng.uniform(0.0, self.spread))
+                    for i in range(self.writers)
+                ]
+            result.append(round_ops)
+        return result

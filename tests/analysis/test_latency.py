@@ -1,0 +1,94 @@
+"""Latency distribution analysis."""
+
+import pytest
+
+from repro.analysis.latency import (
+    LatencyStats,
+    latency_by_group,
+    latency_stats,
+    percentile,
+)
+from repro.errors import ConfigurationError
+from repro.sim.monitor import Metrics
+from tests.conftest import make_cluster, stripe_of
+
+
+class TestPercentile:
+    def test_single_sample(self):
+        assert percentile([5.0], 50) == 5.0
+        assert percentile([5.0], 99) == 5.0
+
+    def test_median_of_odd(self):
+        assert percentile([3, 1, 2], 50) == 2
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 50) == 5.0
+        assert percentile([0, 10], 25) == 2.5
+
+    def test_extremes(self):
+        samples = list(range(101))
+        assert percentile(samples, 0) == 0
+        assert percentile(samples, 100) == 100
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            percentile([], 50)
+        with pytest.raises(ConfigurationError):
+            percentile([1], 101)
+
+    def test_order_independent(self):
+        import random
+
+        samples = [random.Random(3).uniform(0, 1) for _ in range(50)]
+        shuffled = list(samples)
+        random.Random(4).shuffle(shuffled)
+        assert percentile(samples, 90) == percentile(shuffled, 90)
+
+
+class TestMetricsIntegration:
+    def test_stats_from_cluster_run(self):
+        cluster = make_cluster(m=3, n=5)
+        register = cluster.register(0)
+        for tag in range(10):
+            register.write_stripe(stripe_of(3, 32, tag))
+            register.read_stripe()
+        stats = latency_stats(cluster.metrics)
+        assert stats is not None
+        assert stats.count == 20
+        assert stats.p50 <= stats.p90 <= stats.p99 <= stats.max
+        assert stats.mean > 0
+
+    def test_kind_filter(self):
+        cluster = make_cluster(m=3, n=5)
+        register = cluster.register(0)
+        register.write_stripe(stripe_of(3, 32, 1))
+        register.read_stripe()
+        reads = latency_stats(cluster.metrics, kind="read-stripe")
+        writes = latency_stats(cluster.metrics, kind="write-stripe")
+        assert reads.count == 1
+        assert writes.count == 1
+        # Reads are one round trip, writes two.
+        assert reads.mean < writes.mean
+
+    def test_empty_returns_none(self):
+        assert latency_stats(Metrics()) is None
+
+    def test_by_group(self):
+        cluster = make_cluster(m=3, n=5)
+        register = cluster.register(0)
+        register.write_stripe(stripe_of(3, 32, 1))
+        register.read_block(2)
+        groups = latency_by_group(cluster.metrics)
+        assert "write-stripe/fast" in groups
+        assert "read-block/fast" in groups
+
+    def test_aborted_excluded_by_default(self):
+        metrics = Metrics()
+        op = metrics.begin_op("write", now=0.0)
+        metrics.end_op(op, now=5.0, aborted=True)
+        assert latency_stats(metrics) is None
+        assert latency_stats(metrics, include_aborted=True).count == 1
+
+    def test_str(self):
+        stats = LatencyStats(count=1, mean=1, p50=1, p90=1, p99=1, max=1)
+        assert "p99" in str(stats)

@@ -1,0 +1,46 @@
+"""ABD single-writer baseline."""
+
+from repro.baselines.abd import AbdCluster, AbdConfig
+
+
+class TestAbd:
+    def test_write_read(self):
+        cluster = AbdCluster(AbdConfig(n=5))
+        assert cluster.write(0, b"solo") == "OK"
+        assert cluster.read(0) == b"solo"
+
+    def test_read_from_any_process(self):
+        cluster = AbdCluster(AbdConfig(n=5))
+        cluster.write(0, b"v")
+        for pid in range(1, 6):
+            assert cluster.read(0, coordinator_pid=pid) == b"v"
+
+    def test_single_phase_write_cost(self):
+        """SWMR writes: one round trip (2δ, 2n messages)."""
+        n = 5
+        cluster = AbdCluster(AbdConfig(n=n))
+        cluster.write(0, b"fast")
+        row = cluster.metrics.summary()["abd-write/fast"]
+        assert row["latency_delta"] == 2
+        assert row["messages"] == 2 * n
+
+    def test_two_phase_read_cost(self):
+        cluster = AbdCluster(AbdConfig(n=5))
+        cluster.write(0, b"v")
+        cluster.read(0)
+        row = cluster.metrics.summary()["abd-read/fast"]
+        assert row["latency_delta"] == 4
+
+    def test_writer_monotonic_sequence(self):
+        cluster = AbdCluster(AbdConfig(n=3))
+        for tag in range(10):
+            cluster.write(0, f"w{tag}".encode())
+        assert cluster.read(0) == b"w9"
+
+    def test_survives_minority_failures(self):
+        cluster = AbdCluster(AbdConfig(n=5))
+        cluster.write(0, b"v")
+        cluster.crash(4)
+        cluster.crash(5)
+        assert cluster.read(0) == b"v"
+        assert cluster.write(0, b"v2") == "OK"

@@ -1,0 +1,74 @@
+"""Centralized-controller baseline: cheap but fragile."""
+
+import pytest
+
+from repro.baselines.central import CentralConfig, CentralController
+from repro.errors import CodingError
+
+
+def stripe(m=3, size=16, tag=1):
+    return [(f"c{tag}b{i}".encode() * size)[:size] for i in range(m)]
+
+
+class TestHappyPath:
+    def test_write_read(self):
+        controller = CentralController(CentralConfig(m=3, n=5, block_size=16))
+        data = stripe()
+        assert controller.write_stripe(0, data) == "OK"
+        assert controller.read_stripe(0) == data
+
+    def test_read_unwritten(self):
+        controller = CentralController(CentralConfig(m=3, n=5))
+        assert controller.read_stripe(0) is None
+
+    def test_single_round_trip_costs(self):
+        """With oracle failure detection: 2δ for both operations."""
+        controller = CentralController(CentralConfig(m=3, n=5, block_size=16))
+        controller.write_stripe(0, stripe())
+        controller.read_stripe(0)
+        summary = controller.metrics.summary()
+        assert summary["central-write/fast"]["latency_delta"] == 2
+        assert summary["central-read/fast"]["latency_delta"] == 2
+        # Reads touch only m devices: 2m messages.
+        assert summary["central-read/fast"]["messages"] == 2 * 3
+
+    def test_oracle_tracks_real_failures(self):
+        controller = CentralController(CentralConfig(m=3, n=5, block_size=16))
+        data = stripe()
+        controller.write_stripe(0, data)
+        controller.crash_device(1)
+        controller.crash_device(2)
+        assert controller.read_stripe(0) == data  # reads 3,4,5 and decodes
+
+
+class TestFragility:
+    def test_controller_is_single_point_of_failure(self):
+        controller = CentralController(CentralConfig(m=3, n=5, block_size=16))
+        controller.write_stripe(0, stripe())
+        controller.crash_controller()
+        from repro.errors import StorageError
+
+        with pytest.raises(StorageError):
+            controller.read_stripe(0)
+
+    def test_wrong_failure_view_can_lose_data(self):
+        """Section 1.3 / the [2] comparison: a false failure verdict
+        plus real failures leaves < m reachable blocks."""
+        controller = CentralController(CentralConfig(m=3, n=5, block_size=16))
+        controller.write_stripe(0, stripe())
+        # The detector wrongly declares devices 1 and 2 dead, so new
+        # stripes are written only to 3, 4, 5...
+        controller.set_oracle_wrong({1, 2})
+        controller.write_stripe(1, stripe(tag=2))
+        # ...then two of those really die: stripe 1 is gone.
+        controller.crash_device(3)
+        controller.crash_device(4)
+        controller.set_oracle_wrong({1, 2, 3, 4})
+        with pytest.raises(CodingError):
+            controller.read_stripe(1)
+
+    def test_too_few_believed_alive_raises(self):
+        controller = CentralController(CentralConfig(m=3, n=5, block_size=16))
+        controller.set_oracle_wrong({1, 2, 3})
+        with pytest.raises(CodingError):
+            controller.read_stripe(0)

@@ -1,0 +1,88 @@
+"""The abort-retrying client."""
+
+import pytest
+
+from repro.core.client import RetryingClient, RetryPolicy
+from repro.errors import ConfigurationError
+from repro.types import ABORT
+from tests.conftest import block_of, make_cluster, stripe_of
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff=-1)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_growth=0.5)
+
+
+class TestRetryingClient:
+    def test_passthrough_on_success(self):
+        cluster = make_cluster(m=3, n=5)
+        client = RetryingClient(cluster.register(0))
+        stripe = stripe_of(3, 32, tag=1)
+        assert client.write_stripe(stripe) == "OK"
+        assert client.read_stripe() == stripe
+        assert client.stats["retries"] == 0
+
+    def test_block_operations(self):
+        cluster = make_cluster(m=3, n=5)
+        client = RetryingClient(cluster.register(0))
+        client.write_stripe(stripe_of(3, 32, tag=1))
+        block = block_of(32, tag=2)
+        assert client.write_block(2, block) == "OK"
+        assert client.read_block(2) == block
+        assert client.read_blocks([1, 2])[2] == block
+        updates = {1: block_of(32, tag=3)}
+        assert client.write_blocks(updates) == "OK"
+
+    def test_retry_wins_after_conflict_abort(self):
+        """A write that loses a timestamp race succeeds on retry.
+
+        Coordinator 2's clock is stalled far behind coordinator 1's, so
+        its first proposal is refused; the rejection carries the
+        replicas' highest seen timestamp (``max_seen``), the stalled
+        clock adopts it, and the retry wins.
+        """
+        cluster = make_cluster(m=3, n=5)  # observe_timestamps on
+        cluster.env.run(until=100.0)
+        cluster.register(0, coordinator_pid=1).write_stripe(
+            stripe_of(3, 32, tag=1)
+        )
+        loser = cluster.coordinators[2]
+        loser.ts_source._clock = lambda: 0.0  # stalled physical clock
+        client = RetryingClient(
+            cluster.register(0, coordinator_pid=2),
+            RetryPolicy(attempts=5, backoff=10.0),
+        )
+        stripe = stripe_of(3, 32, tag=2)
+        assert client.write_stripe(stripe) == "OK"
+        assert client.stats["retries"] >= 1
+        assert client.stats["exhausted"] == 0
+        assert cluster.register(0, coordinator_pid=3).read_stripe() == stripe
+
+    def test_exhaustion_returns_abort(self):
+        cluster = make_cluster(m=3, n=5, op_timeout=20.0)
+        cluster.register(0).write_stripe(stripe_of(3, 32, tag=1))
+        cluster.crash(4)
+        cluster.crash(5)  # below quorum: everything aborts
+        client = RetryingClient(
+            cluster.register(0), RetryPolicy(attempts=2, backoff=1.0)
+        )
+        assert client.read_stripe() is ABORT
+        assert client.stats["exhausted"] == 1
+        assert client.stats["retries"] == 1
+
+    def test_backoff_advances_simulated_time(self):
+        cluster = make_cluster(m=3, n=5, op_timeout=10.0)
+        cluster.crash(4)
+        cluster.crash(5)
+        client = RetryingClient(
+            cluster.register(0), RetryPolicy(attempts=3, backoff=7.0)
+        )
+        before = cluster.env.now
+        client.read_stripe()
+        # Two backoffs (7 then 14) plus three timed-out attempts.
+        assert cluster.env.now >= before + 21.0

@@ -1,0 +1,211 @@
+"""Stripe-level coordinator operations (Algorithm 1), end to end."""
+
+import pytest
+
+from repro.types import ABORT
+from tests.conftest import make_cluster, stripe_of
+
+
+class TestWriteReadStripe:
+    def test_write_then_read(self, cluster):
+        register = cluster.register(0)
+        stripe = stripe_of(3, 32, tag=1)
+        assert register.write_stripe(stripe) == "OK"
+        assert register.read_stripe() == stripe
+
+    def test_read_never_written_returns_nil(self, cluster):
+        register = cluster.register(7)
+        assert register.read_stripe() is None
+
+    def test_overwrite(self, cluster):
+        register = cluster.register(0)
+        first = stripe_of(3, 32, tag=1)
+        second = stripe_of(3, 32, tag=2)
+        register.write_stripe(first)
+        register.write_stripe(second)
+        assert register.read_stripe() == second
+
+    def test_many_registers_independent(self, cluster):
+        a = cluster.register(1)
+        b = cluster.register(2)
+        stripe_a = stripe_of(3, 32, tag=10)
+        stripe_b = stripe_of(3, 32, tag=20)
+        a.write_stripe(stripe_a)
+        b.write_stripe(stripe_b)
+        assert a.read_stripe() == stripe_a
+        assert b.read_stripe() == stripe_b
+
+    def test_any_coordinator_can_read(self, cluster):
+        writer = cluster.register(0, coordinator_pid=1)
+        stripe = stripe_of(3, 32, tag=3)
+        writer.write_stripe(stripe)
+        for pid in range(2, 6):
+            reader = cluster.register(0, coordinator_pid=pid)
+            assert reader.read_stripe() == stripe
+
+    def test_alternating_coordinators_write(self, cluster):
+        for tag, pid in enumerate([1, 2, 3, 4, 5, 1, 3], start=1):
+            register = cluster.register(0, coordinator_pid=pid)
+            stripe = stripe_of(3, 32, tag=tag)
+            assert register.write_stripe(stripe) == "OK"
+            assert cluster.register(0, coordinator_pid=(pid % 5) + 1).read_stripe() == stripe
+
+
+class TestFaultTolerance:
+    def test_read_write_with_f_crashed(self):
+        cluster = make_cluster(m=3, n=5)  # f = 1
+        register = cluster.register(0)
+        stripe = stripe_of(3, 32, tag=1)
+        register.write_stripe(stripe)
+        cluster.crash(5)
+        assert register.read_stripe() == stripe
+        new = stripe_of(3, 32, tag=2)
+        assert register.write_stripe(new) == "OK"
+        assert register.read_stripe() == new
+
+    def test_ec_5_8_tolerates_one_crash_by_default(self):
+        cluster = make_cluster(m=5, n=8, block_size=16)  # f = 1
+        register = cluster.register(0)
+        stripe = stripe_of(5, 16, tag=1)
+        register.write_stripe(stripe)
+        cluster.crash(2)
+        assert register.read_stripe() == stripe
+
+    def test_ec_5_9_tolerates_two_crashes(self):
+        cluster = make_cluster(m=5, n=9, block_size=16)  # f = 2
+        register = cluster.register(0, coordinator_pid=5)
+        stripe = stripe_of(5, 16, tag=1)
+        register.write_stripe(stripe)
+        cluster.crash(1)
+        cluster.crash(9)
+        assert register.read_stripe() == stripe
+
+    def test_data_survives_any_single_crash(self):
+        for victim in range(1, 6):
+            cluster = make_cluster(m=3, n=5)
+            register = cluster.register(0, coordinator_pid=2 if victim == 1 else 1)
+            stripe = stripe_of(3, 32, tag=victim)
+            register.write_stripe(stripe)
+            cluster.crash(victim)
+            assert register.read_stripe() == stripe, f"victim={victim}"
+
+    def test_recovered_brick_rejoins(self):
+        cluster = make_cluster(m=3, n=5)
+        register = cluster.register(0)
+        stripe = stripe_of(3, 32, tag=1)
+        register.write_stripe(stripe)
+        cluster.crash(4)
+        newer = stripe_of(3, 32, tag=2)
+        register.write_stripe(newer)
+        cluster.recover(4)
+        cluster.crash(5)  # now 4 must participate
+        assert register.read_stripe() == newer
+
+    def test_whole_cluster_crash_and_recovery(self):
+        """The paper: 'can tolerate the simultaneous crash of all
+        processes, and makes progress whenever an m-quorum comes back'."""
+        cluster = make_cluster(m=3, n=5)
+        register = cluster.register(0, coordinator_pid=1)
+        stripe = stripe_of(3, 32, tag=1)
+        register.write_stripe(stripe)
+        for pid in range(1, 6):
+            cluster.crash(pid)
+        for pid in range(1, 6):
+            cluster.recover(pid)
+        assert register.read_stripe() == stripe
+
+
+class TestMetricsFastPath:
+    def test_fast_read_costs(self):
+        """Failure-free read: 2δ latency, 2n messages, m disk reads."""
+        cluster = make_cluster(m=3, n=5)
+        register = cluster.register(0)
+        register.write_stripe(stripe_of(3, 32, tag=1))
+        register.read_stripe()
+        summary = cluster.metrics.summary()
+        row = summary["read-stripe/fast"]
+        assert row["latency_delta"] == 2
+        assert row["messages"] == 10
+        assert row["disk_reads"] == 3
+        assert row["disk_writes"] == 0
+
+    def test_write_costs(self):
+        """Stripe write: 4δ, 4n messages, n disk writes, nB bandwidth."""
+        cluster = make_cluster(m=3, n=5, block_size=32)
+        register = cluster.register(0)
+        register.write_stripe(stripe_of(3, 32, tag=1))
+        row = cluster.metrics.summary()["write-stripe/fast"]
+        assert row["latency_delta"] == 4
+        assert row["messages"] == 20
+        assert row["disk_writes"] == 5
+        assert row["disk_reads"] == 0
+        assert row["bytes"] == 5 * 32
+
+
+class TestAborts:
+    def test_stale_timestamp_write_aborts(self):
+        """A coordinator whose clock is far behind gets refused."""
+        cluster = make_cluster(m=3, n=5, observe_timestamps=False)
+        cluster.env.run(until=100.0)  # give writer 1 a large timestamp
+        fast = cluster.register(0, coordinator_pid=1)
+        fast.write_stripe(stripe_of(3, 32, tag=1))
+        # Manually regress coordinator 2's clock far behind 1's.
+        slow_coord = cluster.coordinator(2)
+        slow_coord.ts_source._last_time = 0
+        slow_coord.ts_source._clock = lambda: -10**6
+        result = cluster.register(0, coordinator_pid=2).write_stripe(
+            stripe_of(3, 32, tag=2)
+        )
+        assert result is ABORT
+
+    def test_aborted_write_leaves_old_value(self):
+        cluster = make_cluster(m=3, n=5, observe_timestamps=False)
+        cluster.env.run(until=100.0)
+        register = cluster.register(0)
+        stripe = stripe_of(3, 32, tag=1)
+        register.write_stripe(stripe)
+        slow_coord = cluster.coordinator(2)
+        slow_coord.ts_source._clock = lambda: -10**6
+        cluster.register(0, coordinator_pid=2).write_stripe(stripe_of(3, 32, tag=2))
+        assert register.read_stripe() == stripe
+
+    def test_retry_after_abort_succeeds(self):
+        """PROGRESS: observing replies lets the loser catch up."""
+        cluster = make_cluster(m=3, n=5)  # observe_timestamps on by default
+        cluster.register(0, coordinator_pid=1).write_stripe(stripe_of(3, 32, tag=1))
+        loser = cluster.register(0, coordinator_pid=2)
+        loser.coordinator.ts_source._clock = lambda: 0.0  # stalled clock
+        stripe = stripe_of(3, 32, tag=2)
+        result = loser.write_stripe(stripe)
+        if result is ABORT:  # first try may lose
+            result = loser.write_stripe(stripe)
+        assert result == "OK"
+
+
+class TestMessageLoss:
+    def test_operations_complete_under_loss(self):
+        cluster = make_cluster(m=2, n=4, drop=0.15, seed=5)
+        register = cluster.register(0)
+        stripe = stripe_of(2, 32, tag=1)
+        assert register.write_stripe(stripe) == "OK"
+        assert register.read_stripe() == stripe
+
+    def test_operations_complete_under_heavy_loss(self):
+        cluster = make_cluster(m=2, n=4, drop=0.4, seed=9)
+        register = cluster.register(0)
+        stripe = stripe_of(2, 32, tag=1)
+        assert register.write_stripe(stripe) == "OK"
+        assert register.read_stripe() == stripe
+
+    def test_sequence_under_loss_and_jitter(self):
+        cluster = make_cluster(
+            m=3, n=5, drop=0.2, min_latency=0.5, max_latency=3.0, seed=11
+        )
+        register = cluster.register(0)
+        last = None
+        for tag in range(5):
+            stripe = stripe_of(3, 32, tag=tag)
+            if register.write_stripe(stripe) == "OK":
+                last = stripe
+            value = register.read_stripe()
+            assert value == last

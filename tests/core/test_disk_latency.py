@@ -1,0 +1,99 @@
+"""The replica disk-latency model."""
+
+import pytest
+
+from repro import ClusterConfig, FabCluster
+from tests.conftest import block_of, stripe_of
+
+
+def timed_cluster(read_latency=0.0, write_latency=0.0):
+    """A cluster whose coordinator windows account for disk time.
+
+    The fast-path grace period must cover the expected disk service
+    time (otherwise the quorum of disk-free replies expires the window
+    before the block-carrying reply arrives), and retransmission must
+    not fire while a replica is merely busy with its disk.
+    """
+    from repro.core.coordinator import CoordinatorConfig
+
+    slack = 2 * (read_latency + write_latency) + 5.0
+    return FabCluster(
+        ClusterConfig(
+            m=3, n=5, block_size=32,
+            disk_read_latency=read_latency,
+            disk_write_latency=write_latency,
+            coordinator=CoordinatorConfig(
+                grace=slack, retransmit_interval=10 * slack
+            ),
+        )
+    )
+
+
+class TestDiskLatency:
+    def test_default_is_free(self):
+        cluster = timed_cluster()
+        register = cluster.register(0)
+        t0 = cluster.env.now
+        register.write_stripe(stripe_of(3, 32, tag=1))
+        assert cluster.env.now - t0 == pytest.approx(4.0)  # pure 4δ
+
+    def test_write_latency_added_once(self):
+        cluster = timed_cluster(write_latency=5.0)
+        register = cluster.register(0)
+        t0 = cluster.env.now
+        register.write_stripe(stripe_of(3, 32, tag=1))
+        # Order round (2) + Write round (2 + one block write of 5).
+        assert cluster.env.now - t0 == pytest.approx(9.0)
+
+    def test_read_latency_added_once(self):
+        cluster = timed_cluster(read_latency=3.0)
+        register = cluster.register(0)
+        register.write_stripe(stripe_of(3, 32, tag=1))
+        t0 = cluster.env.now
+        register.read_stripe()
+        # One Read round (2) + one log block read (3) at the targets.
+        assert cluster.env.now - t0 == pytest.approx(5.0)
+
+    def test_non_target_replies_not_delayed(self):
+        """Replicas outside `targets` read no block, so reply at 2δ."""
+        cluster = timed_cluster(read_latency=100.0)
+        register = cluster.register(0)
+        register.write_stripe(stripe_of(3, 32, tag=1))
+        t0 = cluster.env.now
+        register.read_block(2)
+        # p_2 is delayed by its disk read; the other quorum members are
+        # not, but the fast path waits for p_2's block.
+        assert cluster.env.now - t0 == pytest.approx(102.0)
+
+    def test_block_write_charged_for_parity_read_modify(self):
+        cluster = timed_cluster(read_latency=2.0, write_latency=3.0)
+        register = cluster.register(0)
+        register.write_stripe(stripe_of(3, 32, tag=1))
+        t0 = cluster.env.now
+        register.write_block(2, block_of(32, tag=2))
+        # Order&Read: 2δ + p_j block read (2).  Modify at parity:
+        # 2δ + read (2) + write (3).  p_j itself: write only (3).
+        # Critical path: 4δ + 2 + 5 = 11.
+        assert cluster.env.now - t0 == pytest.approx(11.0)
+
+    def test_disk_counts_unchanged_by_latency(self):
+        fast = timed_cluster()
+        slow = timed_cluster(read_latency=4.0, write_latency=4.0)
+        for cluster in (fast, slow):
+            register = cluster.register(0)
+            register.write_stripe(stripe_of(3, 32, tag=1))
+            register.read_stripe()
+        assert (
+            fast.metrics.total_disk_reads == slow.metrics.total_disk_reads
+        )
+        assert (
+            fast.metrics.total_disk_writes == slow.metrics.total_disk_writes
+        )
+
+    def test_correctness_preserved_with_disk_latency(self):
+        cluster = timed_cluster(read_latency=1.5, write_latency=2.5)
+        register = cluster.register(0)
+        stripe = stripe_of(3, 32, tag=1)
+        register.write_stripe(stripe)
+        cluster.crash(4)
+        assert register.read_stripe() == stripe

@@ -1,0 +1,178 @@
+"""The quorum() primitive: gathering, grace, retransmission, expiry."""
+
+import pytest
+
+from repro.core.coordinator import CoordinatorConfig, QuorumRpc, _PendingCall
+from repro.core.messages import ReadReply, ReadReq
+from repro.sim.kernel import Environment
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.node import Node
+from tests.conftest import make_cluster, stripe_of
+
+
+class EchoReplica:
+    """A minimal endpoint that answers ReadReq with a canned status."""
+
+    def __init__(self, node, status=True, delay=0.0):
+        self.node = node
+        self.status = status
+        self.delay = delay
+        node.register_handler(ReadReq, self._on_read)
+
+    def _on_read(self, src, req):
+        reply = ReadReply(
+            register_id=req.register_id,
+            request_id=req.request_id,
+            status=self.status,
+            val_ts=None,
+            block=None,
+        )
+        if self.delay:
+            timer = self.node.env.timeout(self.delay)
+            timer._add_callback(lambda _t: self.node.send(src, reply))
+        else:
+            self.node.send(src, reply)
+
+
+def build_rpc(n=4, quorum=3, config=None, delays=None, statuses=None):
+    env = Environment()
+    network = Network(env, NetworkConfig())
+    nodes = {pid: Node(env, network, pid) for pid in range(1, n + 1)}
+    replicas = {
+        pid: EchoReplica(
+            nodes[pid],
+            status=(statuses or {}).get(pid, True),
+            delay=(delays or {}).get(pid, 0.0),
+        )
+        for pid in nodes
+    }
+    coordinator_node = Node(env, network, 100)
+    rpc = QuorumRpc(
+        coordinator_node,
+        universe=list(range(1, n + 1)),
+        quorum_size=quorum,
+        config=config or CoordinatorConfig(),
+    )
+    return env, coordinator_node, rpc, nodes
+
+
+def run_call(env, node, rpc, **kwargs):
+    process = node.spawn(
+        rpc.call(
+            lambda dst, rid: ReadReq(register_id=0, request_id=rid,
+                                     targets=frozenset()),
+            **kwargs,
+        )
+    )
+    return env.run_until_complete(process)
+
+
+class TestGathering:
+    def test_completes_at_quorum(self):
+        env, node, rpc, _nodes = build_rpc(n=4, quorum=3)
+        replies = run_call(env, node, rpc)
+        assert len(replies) >= 3
+
+    def test_waits_for_slow_member_without_prefer_only_to_quorum(self):
+        env, node, rpc, _nodes = build_rpc(
+            n=4, quorum=3, delays={4: 50.0}
+        )
+        replies = run_call(env, node, rpc)
+        assert 4 not in replies
+        assert env.now < 10
+
+    def test_prefer_waits_within_grace(self):
+        env, node, rpc, _nodes = build_rpc(
+            n=4, quorum=3, delays={4: 2.5},
+            config=CoordinatorConfig(grace=5.0),
+        )
+        replies = run_call(
+            env, node, rpc, prefer=lambda r: 4 in r and len(r) >= 3
+        )
+        assert 4 in replies
+
+    def test_grace_expiry_returns_quorum_without_preferred(self):
+        env, node, rpc, _nodes = build_rpc(
+            n=4, quorum=3, delays={4: 100.0},
+            config=CoordinatorConfig(grace=2.0, retransmit_interval=500.0),
+        )
+        replies = run_call(
+            env, node, rpc, prefer=lambda r: 4 in r and len(r) >= 3
+        )
+        assert 4 not in replies
+        assert len(replies) == 3
+
+    def test_min_count_override(self):
+        env, node, rpc, _nodes = build_rpc(n=4, quorum=3)
+        replies = run_call(env, node, rpc, min_count=4)
+        assert len(replies) == 4
+
+
+class TestRetransmission:
+    def test_resends_to_nonresponders_until_quorum(self):
+        env, node, rpc, nodes = build_rpc(
+            n=3, quorum=3,
+            config=CoordinatorConfig(retransmit_interval=5.0),
+        )
+        nodes[3].crash()
+
+        process = node.spawn(
+            rpc.call(lambda dst, rid: ReadReq(0, rid, frozenset()))
+        )
+        env.run(until=12.0)
+        assert not process.triggered  # still missing node 3
+        nodes[3].recover()
+        env.run(until=30.0)
+        assert process.triggered
+        assert len(process.value) == 3
+
+    def test_retransmission_stops_after_completion(self):
+        env, node, rpc, _nodes = build_rpc(
+            n=3, quorum=3,
+            config=CoordinatorConfig(retransmit_interval=3.0),
+        )
+        run_call(env, node, rpc)
+        sent_after = node.metrics.total_messages
+        env.run(until=env.now + 50)
+        assert node.metrics.total_messages == sent_after
+
+    def test_duplicate_replies_counted_once(self):
+        env = Environment()
+        network = Network(env, NetworkConfig(duplicate_probability=1.0))
+        nodes = {pid: Node(env, network, pid) for pid in (1, 2, 3)}
+        for pid in nodes:
+            EchoReplica(nodes[pid])
+        coordinator = Node(env, network, 100)
+        rpc = QuorumRpc(coordinator, [1, 2, 3], 3, CoordinatorConfig())
+        replies = env.run_until_complete(
+            coordinator.spawn(
+                rpc.call(lambda dst, rid: ReadReq(0, rid, frozenset()))
+            )
+        )
+        assert len(replies) == 3
+
+
+class TestExpiry:
+    def test_op_timeout_yields_none_below_quorum(self):
+        env, node, rpc, nodes = build_rpc(
+            n=4, quorum=3, config=CoordinatorConfig(op_timeout=20.0),
+        )
+        nodes[2].crash()
+        nodes[3].crash()
+        nodes[4].crash()
+        result = run_call(env, node, rpc)
+        assert result is None
+
+    def test_op_timeout_ignored_when_quorum_met(self):
+        env, node, rpc, _nodes = build_rpc(
+            n=4, quorum=3, config=CoordinatorConfig(op_timeout=50.0),
+        )
+        replies = run_call(env, node, rpc)
+        assert replies is not None
+
+
+class TestRequestIds:
+    def test_monotonic_unique(self):
+        _env, _node, rpc, _nodes = build_rpc()
+        ids = [rpc.next_request_id() for _ in range(10)]
+        assert ids == sorted(set(ids))

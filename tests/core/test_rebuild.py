@@ -1,0 +1,122 @@
+"""Scrubbing and rebuilding (distributed repair)."""
+
+import pytest
+
+from repro.core.rebuild import Rebuilder, Scrubber
+from tests.conftest import make_cluster, stripe_of
+
+
+def cluster_with_stale_brick(victim=4, registers=5):
+    """Write data, crash a brick, write newer data, recover the brick."""
+    cluster = make_cluster(m=3, n=5)
+    for register_id in range(registers):
+        cluster.register(register_id).write_stripe(
+            stripe_of(3, 32, tag=register_id)
+        )
+    cluster.crash(victim)
+    newer = {}
+    for register_id in range(registers):
+        stripe = stripe_of(3, 32, tag=100 + register_id)
+        cluster.register(register_id).write_stripe(stripe)
+        newer[register_id] = stripe
+    cluster.recover(victim)
+    return cluster, newer
+
+
+class TestScrubber:
+    def test_detects_stale_brick(self):
+        cluster, _newer = cluster_with_stale_brick()
+        report = Scrubber(cluster).scrub_register(0)
+        assert report.stale == [4]
+        assert sorted(report.current) == [1, 2, 3, 5]
+        assert not report.fully_redundant
+        assert report.redundancy == 4
+
+    def test_detects_down_brick(self):
+        cluster, _ = cluster_with_stale_brick()
+        cluster.crash(2)
+        report = Scrubber(cluster).scrub_register(0)
+        assert report.down == [2]
+
+    def test_fully_redundant_cluster(self):
+        cluster = make_cluster(m=3, n=5)
+        cluster.register(0).write_stripe(stripe_of(3, 32, tag=1))
+        report = Scrubber(cluster).scrub_register(0)
+        assert report.fully_redundant
+        assert report.redundancy == 5
+
+    def test_stale_registers_listing(self):
+        cluster, _ = cluster_with_stale_brick(registers=4)
+        stale = Scrubber(cluster).stale_registers(range(4))
+        assert stale == [0, 1, 2, 3]
+
+    def test_scrub_costs_no_messages(self):
+        cluster, _ = cluster_with_stale_brick()
+        before = cluster.metrics.total_messages
+        Scrubber(cluster).scrub(range(5))
+        assert cluster.metrics.total_messages == before
+
+
+class TestRebuilder:
+    def test_rebuild_restores_full_redundancy(self):
+        cluster, newer = cluster_with_stale_brick(registers=3)
+        rebuilder = Rebuilder(cluster, coordinator_pid=1)
+        report = rebuilder.rebuild(range(3))
+        assert report.success
+        assert report.repaired == 3
+        scrubber = Scrubber(cluster)
+        for register_id in range(3):
+            assert scrubber.scrub_register(register_id).fully_redundant
+
+    def test_rebuild_preserves_data(self):
+        cluster, newer = cluster_with_stale_brick(registers=3)
+        Rebuilder(cluster).rebuild(range(3))
+        for register_id, stripe in newer.items():
+            assert cluster.register(register_id).read_stripe() == stripe
+
+    def test_rebuilt_brick_carries_load(self):
+        """After rebuild, the repaired brick alone can compensate for
+        losing a previously-current brick."""
+        cluster, newer = cluster_with_stale_brick(victim=4, registers=2)
+        Rebuilder(cluster).rebuild(range(2))
+        cluster.crash(5)  # was current; now 4 must fill in
+        for register_id, stripe in newer.items():
+            assert cluster.register(register_id).read_stripe() == stripe
+
+    def test_current_registers_skipped(self):
+        cluster = make_cluster(m=3, n=5)
+        cluster.register(0).write_stripe(stripe_of(3, 32, tag=1))
+        report = Rebuilder(cluster).rebuild([0])
+        assert report.already_current == 1
+        assert report.repaired == 0
+
+    def test_rebuild_brick_convenience(self):
+        cluster = make_cluster(m=3, n=5)
+        for register_id in range(3):
+            cluster.register(register_id).write_stripe(
+                stripe_of(3, 32, tag=register_id)
+            )
+        cluster.crash(3)
+        for register_id in range(3):
+            cluster.register(register_id).write_stripe(
+                stripe_of(3, 32, tag=50 + register_id)
+            )
+        report = Rebuilder(cluster).rebuild_brick(3, range(3))
+        assert report.success
+        assert cluster.nodes[3].is_up
+        assert Scrubber(cluster).scrub_register(1).fully_redundant
+
+    def test_rebuild_is_linearization_safe(self):
+        """Rebuild concurrent with client writes never loses data."""
+        cluster, _ = cluster_with_stale_brick(registers=1)
+        rebuilder = Rebuilder(cluster, coordinator_pid=1)
+        # Launch a client write concurrently with the rebuild.
+        final = stripe_of(3, 32, tag=999)
+        write_process = cluster.register(0, coordinator_pid=2).write_stripe_async(final)
+        rebuilder.rebuild([0])
+        cluster.env.run()
+        value = cluster.register(0, coordinator_pid=3).read_stripe()
+        if write_process.value == "OK":
+            assert value == final
+        else:
+            assert value is not None

@@ -1,0 +1,213 @@
+"""Model-based stateful testing of the storage register (hypothesis).
+
+A rule-based state machine drives a live cluster with sequential
+operations — stripe/block/multi-block reads and writes from rotating
+coordinators — interleaved with crashes and recoveries that never
+exceed the fault bound.
+
+The model implements the paper's actual contract: an operation that
+returns OK definitely took effect; an operation that returns ⊥ (abort)
+is *non-deterministic* — it may or may not have taken effect (its fate
+is decided by the next read).  So the model tracks a SET of possible
+register values: OK writes collapse it to the new value, aborted writes
+add their outcome to it, and every successful read must return a member
+of the set — after which the set collapses to the observed value
+(strict linearizability: once read, the decision is permanent).
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.types import ABORT
+from tests.conftest import make_cluster
+
+M, N, BLOCK = 2, 4, 16
+REGISTERS = 3
+ZERO = bytes(BLOCK)
+
+
+def payload(tag: int) -> bytes:
+    return (f"p{tag}-".encode() * BLOCK)[:BLOCK]
+
+
+class PossibilityModel:
+    """Per-register sets of possible stripe values.
+
+    A stripe value is a tuple of ``m`` blocks; the never-written state
+    is the all-zero tuple (the protocol's nil materializes as zeros at
+    block granularity).
+    """
+
+    def __init__(self) -> None:
+        self.possible = {}
+
+    def _states(self, register_id):
+        return self.possible.setdefault(register_id, {(ZERO,) * M})
+
+    @staticmethod
+    def _normalize_stripe(value):
+        if value is None:
+            return (ZERO,) * M
+        return tuple(value)
+
+    # -- writes ------------------------------------------------------------
+
+    def committed_stripe_write(self, register_id, stripe):
+        self.possible[register_id] = {tuple(stripe)}
+
+    def aborted_stripe_write(self, register_id, stripe):
+        self._states(register_id).add(tuple(stripe))
+
+    def committed_block_write(self, register_id, updates):
+        states = self._states(register_id)
+        outcomes = set()
+        for state in states:
+            blocks = list(state)
+            for j, block in updates.items():
+                blocks[j - 1] = block
+            outcomes.add(tuple(blocks))
+        # The write committed, but WHICH pre-state it applied to is only
+        # pinned down if the set was already collapsed.
+        self.possible[register_id] = outcomes
+
+    def aborted_block_write(self, register_id, updates):
+        states = self._states(register_id)
+        outcomes = set(states)
+        for state in states:
+            blocks = list(state)
+            for j, block in updates.items():
+                blocks[j - 1] = block
+            outcomes.add(tuple(blocks))
+        self.possible[register_id] = outcomes
+
+    # -- reads -------------------------------------------------------------
+
+    def observe_stripe(self, register_id, value):
+        """Check a successful stripe read and collapse the model."""
+        observed = self._normalize_stripe(value)
+        states = self._states(register_id)
+        assert observed in states, (
+            f"register {register_id}: read {observed} not among "
+            f"{len(states)} possible states"
+        )
+        self.possible[register_id] = {observed}
+
+    def observe_block(self, register_id, j, value):
+        """Check a successful block read; collapse to consistent states."""
+        observed = ZERO if value is None else value
+        states = self._states(register_id)
+        consistent = {s for s in states if s[j - 1] == observed}
+        assert consistent, (
+            f"register {register_id} block {j}: read {observed!r} "
+            f"matches none of {len(states)} possible states"
+        )
+        self.possible[register_id] = consistent
+
+
+class FabMachine(RuleBasedStateMachine):
+    registers = st.integers(min_value=0, max_value=REGISTERS - 1)
+    blocks = st.integers(min_value=1, max_value=M)
+    pids = st.integers(min_value=1, max_value=N)
+
+    @initialize()
+    def setup(self):
+        self.cluster = make_cluster(m=M, n=N, block_size=BLOCK, seed=0)
+        self.model = PossibilityModel()
+        self.tag = 0
+
+    def _coordinator_pid(self, preferred):
+        live = self.cluster.live_processes()
+        return preferred if preferred in live else live[0]
+
+    def _fresh(self):
+        self.tag += 1
+        return self.tag
+
+    @rule(register_id=registers, pid=pids)
+    def write_stripe(self, register_id, pid):
+        stripe = [payload(self._fresh()) for _ in range(M)]
+        register = self.cluster.register(
+            register_id, self._coordinator_pid(pid)
+        )
+        if register.write_stripe(stripe) == "OK":
+            self.model.committed_stripe_write(register_id, stripe)
+        else:
+            self.model.aborted_stripe_write(register_id, stripe)
+
+    @rule(register_id=registers, j=blocks, pid=pids)
+    def write_block(self, register_id, j, pid):
+        block = payload(self._fresh())
+        register = self.cluster.register(
+            register_id, self._coordinator_pid(pid)
+        )
+        if register.write_block(j, block) == "OK":
+            self.model.committed_block_write(register_id, {j: block})
+        else:
+            self.model.aborted_block_write(register_id, {j: block})
+
+    @rule(register_id=registers, pid=pids, js=st.sets(blocks, min_size=1))
+    def write_blocks(self, register_id, pid, js):
+        updates = {j: payload(self._fresh()) for j in sorted(js)}
+        register = self.cluster.register(
+            register_id, self._coordinator_pid(pid)
+        )
+        if register.write_blocks(updates) == "OK":
+            self.model.committed_block_write(register_id, updates)
+        else:
+            self.model.aborted_block_write(register_id, updates)
+
+    @rule(register_id=registers, pid=pids)
+    def read_stripe(self, register_id, pid):
+        register = self.cluster.register(
+            register_id, self._coordinator_pid(pid)
+        )
+        value = register.read_stripe()
+        if value is not ABORT:
+            self.model.observe_stripe(register_id, value)
+
+    @rule(register_id=registers, j=blocks, pid=pids)
+    def read_block(self, register_id, j, pid):
+        register = self.cluster.register(
+            register_id, self._coordinator_pid(pid)
+        )
+        value = register.read_block(j)
+        if value is not ABORT:
+            self.model.observe_block(register_id, j, value)
+
+    @precondition(lambda self: len(self.cluster.live_processes()) > N - 1)
+    @rule(pid=pids)
+    def crash_brick(self, pid):
+        # Keep at least a quorum: f = (N - M) // 2 = 1 brick down max.
+        if self.cluster.nodes[pid].is_up:
+            self.cluster.crash(pid)
+
+    @rule(pid=pids)
+    def recover_brick(self, pid):
+        if not self.cluster.nodes[pid].is_up:
+            self.cluster.recover(pid)
+
+    @rule()
+    def let_time_pass(self):
+        self.cluster.env.run(until=self.cluster.env.now + 7.0)
+
+    @invariant()
+    def quorum_always_available(self):
+        if hasattr(self, "cluster"):
+            assert len(self.cluster.live_processes()) >= (
+                self.cluster.quorum_system.quorum_size
+            )
+
+
+FabMachine.TestCase.settings = settings(
+    max_examples=15, stateful_step_count=25, deadline=None
+)
+
+TestFabStateful = FabMachine.TestCase

@@ -1,0 +1,78 @@
+"""Quorum selection strategies wired into the coordinator."""
+
+import pytest
+
+from repro.quorum.strategy import (
+    ExcludeSuspectedStrategy,
+    PreferredQuorumStrategy,
+    RandomQuorumStrategy,
+)
+from tests.conftest import make_cluster, stripe_of
+
+
+class TestStrategyIntegration:
+    def test_default_is_random(self):
+        cluster = make_cluster(m=3, n=5)
+        assert isinstance(
+            cluster.coordinators[1].strategy, RandomQuorumStrategy
+        )
+
+    def test_preferred_strategy_targets_data_bricks(self):
+        """Preferring the data bricks makes fast reads decode for free
+        (systematic code: data blocks need no decoding matrix)."""
+        cluster = make_cluster(m=3, n=5)
+        coordinator = cluster.coordinators[1]
+        coordinator.strategy = PreferredQuorumStrategy([1, 2, 3])
+        register = cluster.register(0)
+        stripe = stripe_of(3, 32, tag=1)
+        register.write_stripe(stripe)
+        for _ in range(5):
+            assert register.read_stripe() == stripe
+        # Only data bricks served blocks: 3 disk reads per read, and
+        # every block-serving read hit processes 1..3.
+        summary = cluster.metrics.summary()
+        assert summary["read-stripe/fast"]["disk_reads"] == 3
+
+    def test_suspicion_demotes_a_slow_brick(self):
+        """Suspecting a crashed brick steers the fast path around it,
+        avoiding recovery."""
+        cluster = make_cluster(m=3, n=5)
+        coordinator = cluster.coordinators[1]
+        strategy = ExcludeSuspectedStrategy(PreferredQuorumStrategy([1, 2, 3]))
+        coordinator.strategy = strategy
+        register = cluster.register(0)
+        stripe = stripe_of(3, 32, tag=1)
+        register.write_stripe(stripe)
+
+        cluster.crash(2)
+        strategy.suspect(2)
+        for _ in range(3):
+            assert register.read_stripe() == stripe
+        # With brick 2 demoted, the fast path picks {1, 3, 4}: no slow
+        # reads at all.
+        assert "read-stripe/slow" not in cluster.metrics.summary()
+
+    def test_without_suspicion_crashed_target_forces_recovery(self):
+        cluster = make_cluster(m=3, n=5)
+        coordinator = cluster.coordinators[1]
+        coordinator.strategy = PreferredQuorumStrategy([1, 2, 3])
+        register = cluster.register(0)
+        stripe = stripe_of(3, 32, tag=1)
+        register.write_stripe(stripe)
+        cluster.crash(2)  # a preferred target, not suspected
+        assert register.read_stripe() == stripe
+        assert cluster.metrics.summary()["read-stripe/slow"]["count"] >= 1
+
+    def test_wrong_suspicion_costs_nothing_but_placement(self):
+        """Suspecting a healthy brick never blocks progress (advisory)."""
+        cluster = make_cluster(m=3, n=5)
+        coordinator = cluster.coordinators[1]
+        strategy = ExcludeSuspectedStrategy(PreferredQuorumStrategy([1, 2, 3]))
+        coordinator.strategy = strategy
+        strategy.suspect(1)
+        strategy.suspect(2)
+        strategy.suspect(3)  # suspect every data brick, all healthy
+        register = cluster.register(0)
+        stripe = stripe_of(3, 32, tag=1)
+        assert register.write_stripe(stripe) == "OK"
+        assert register.read_stripe() == stripe

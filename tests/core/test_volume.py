@@ -1,0 +1,130 @@
+"""Logical volumes: address translation and block I/O."""
+
+import pytest
+
+from repro import LogicalVolume
+from repro.errors import ConfigurationError
+from tests.conftest import block_of, make_cluster, stripe_of
+
+
+@pytest.fixture
+def volume():
+    cluster = make_cluster(m=3, n=5, block_size=32)
+    return LogicalVolume(cluster, num_stripes=4)
+
+
+class TestGeometry:
+    def test_sizes(self, volume):
+        assert volume.num_blocks == 12
+        assert volume.capacity_bytes == 12 * 32
+
+    def test_rejects_zero_stripes(self):
+        cluster = make_cluster()
+        with pytest.raises(ConfigurationError):
+            LogicalVolume(cluster, num_stripes=0)
+
+    def test_locate_shuffled(self, volume):
+        """Consecutive logical blocks land on consecutive stripes."""
+        stripes = [volume.locate(block)[0] for block in range(4)]
+        assert stripes == [0, 1, 2, 3]
+
+    def test_locate_linear(self):
+        cluster = make_cluster(m=3, n=5, block_size=32)
+        volume = LogicalVolume(cluster, num_stripes=4, stripe_shuffle=False)
+        assert [volume.locate(b) for b in range(4)] == [
+            (0, 1), (0, 2), (0, 3), (1, 1)
+        ]
+
+    def test_locate_out_of_range(self, volume):
+        with pytest.raises(ConfigurationError):
+            volume.locate(12)
+        with pytest.raises(ConfigurationError):
+            volume.locate(-1)
+
+    def test_locate_covers_all_units(self, volume):
+        seen = {volume.locate(block) for block in range(volume.num_blocks)}
+        assert len(seen) == volume.num_blocks
+
+    def test_base_register_offset(self):
+        cluster = make_cluster(m=3, n=5, block_size=32)
+        vol_a = LogicalVolume(cluster, num_stripes=2, base_register_id=0)
+        vol_b = LogicalVolume(cluster, num_stripes=2, base_register_id=100)
+        vol_a.write(0, b"A" * 32)
+        vol_b.write(0, b"B" * 32)
+        assert vol_a.read(0) == b"A" * 32
+        assert vol_b.read(0) == b"B" * 32
+
+
+class TestBlockIO:
+    def test_read_unwritten_is_zeros(self, volume):
+        assert volume.read(5) == bytes(32)
+
+    def test_write_read_roundtrip(self, volume):
+        data = block_of(32, tag=1)
+        assert volume.write(3, data) == "OK"
+        assert volume.read(3) == data
+
+    def test_write_wrong_size_rejected(self, volume):
+        with pytest.raises(ConfigurationError):
+            volume.write(0, b"short")
+
+    def test_all_blocks_independent(self, volume):
+        for block in range(volume.num_blocks):
+            volume.write(block, block_of(32, tag=block))
+        for block in range(volume.num_blocks):
+            assert volume.read(block) == block_of(32, tag=block)
+
+    def test_write_survives_crash(self, volume):
+        data = block_of(32, tag=1)
+        volume.write(0, data)
+        volume.cluster.crash(5)
+        assert volume.read(0) == data
+
+    def test_read_via_other_coordinator(self, volume):
+        data = block_of(32, tag=2)
+        volume.write(7, data, coordinator_pid=1)
+        assert volume.read(7, coordinator_pid=4) == data
+
+
+class TestRangeIO:
+    def test_range_roundtrip(self, volume):
+        blocks = [block_of(32, tag=10 + i) for i in range(5)]
+        assert volume.write_range(2, blocks) == "OK"
+        assert volume.read_range(2, 5) == blocks
+
+    def test_range_mixes_written_and_zeros(self, volume):
+        volume.write(1, block_of(32, tag=1))
+        values = volume.read_range(0, 3)
+        assert values[0] == bytes(32)
+        assert values[1] == block_of(32, tag=1)
+        assert values[2] == bytes(32)
+
+
+class TestStripeAlignedIO:
+    def test_stripe_write_visible_blockwise(self, volume):
+        stripe = stripe_of(3, 32, tag=5)
+        assert volume.write_stripe_aligned(1, stripe) == "OK"
+        # Stripe 1, units 1..3 correspond to logical blocks 1, 5, 9
+        # under the shuffled layout (block % 4 == 1).
+        for unit, logical in enumerate([1, 5, 9]):
+            assert volume.read(logical) == stripe[unit]
+
+    def test_stripe_write_validations(self, volume):
+        with pytest.raises(ConfigurationError):
+            volume.write_stripe_aligned(9, stripe_of(3, 32, tag=1))
+        with pytest.raises(ConfigurationError):
+            volume.write_stripe_aligned(0, stripe_of(2, 32, tag=1))
+
+    def test_stripe_write_cheaper_than_block_writes(self):
+        cluster = make_cluster(m=3, n=5, block_size=32)
+        volume = LogicalVolume(cluster, num_stripes=2)
+        volume.write_stripe_aligned(0, stripe_of(3, 32, tag=1))
+        stripe_msgs = cluster.metrics.summary()["write-stripe/fast"]["messages"]
+        for i in range(3):
+            volume.write(i, block_of(32, tag=i))
+        block_msgs = sum(
+            row["messages"] * row["count"]
+            for label, row in cluster.metrics.summary().items()
+            if label.startswith("write-block")
+        )
+        assert stripe_msgs < block_msgs

@@ -1,0 +1,100 @@
+"""Cauchy-matrix Reed-Solomon code."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.erasure import CauchyReedSolomonCode, make_code
+from repro.erasure.reed_solomon import ReedSolomonCode
+from repro.errors import CodingError
+
+
+class TestConstruction:
+    def test_registered_in_factory(self):
+        assert isinstance(make_code(3, 6, "cauchy"), CauchyReedSolomonCode)
+
+    def test_is_a_reed_solomon(self):
+        assert isinstance(CauchyReedSolomonCode(2, 4), ReedSolomonCode)
+
+    def test_systematic(self):
+        import numpy as np
+
+        code = CauchyReedSolomonCode(4, 7)
+        assert np.array_equal(
+            code.generator_matrix[:4], np.eye(4, dtype=np.uint8)
+        )
+
+    def test_rejects_oversize(self):
+        with pytest.raises(CodingError):
+            CauchyReedSolomonCode(2, 300)
+
+    def test_zero_parity_allowed(self):
+        code = CauchyReedSolomonCode(3, 3)
+        stripe = [b"a", b"b", b"c"]
+        assert code.encode(stripe) == stripe
+
+
+class TestMdsProperty:
+    def test_every_survivor_pattern_decodes(self):
+        code = CauchyReedSolomonCode(3, 6)
+        stripe = [bytes([i]) * 8 for i in range(3)]
+        encoded = code.encode(stripe)
+        for survivors in itertools.combinations(range(1, 7), 3):
+            blocks = {i: encoded[i - 1] for i in survivors}
+            assert code.decode(blocks) == stripe, survivors
+
+    @settings(deadline=None, max_examples=20)
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=4),
+        st.randoms(use_true_random=False),
+    )
+    def test_roundtrip_random(self, m, extra, rng):
+        n = m + extra
+        code = CauchyReedSolomonCode(m, n)
+        stripe = [
+            bytes(rng.randrange(256) for _ in range(16)) for _ in range(m)
+        ]
+        encoded = code.encode(stripe)
+        survivors = rng.sample(range(1, n + 1), m)
+        assert code.decode({i: encoded[i - 1] for i in survivors}) == stripe
+
+
+class TestEquivalence:
+    """Vandermonde-RS and Cauchy-RS are interchangeable behaviours."""
+
+    def test_modify_matches_reencode(self):
+        code = CauchyReedSolomonCode(3, 6)
+        stripe = [bytes([10 + i]) * 8 for i in range(3)]
+        encoded = code.encode(stripe)
+        new_block = b"\x77" * 8
+        reencoded = code.encode([stripe[0], new_block, stripe[2]])
+        for j in range(4, 7):
+            assert code.modify(2, j, stripe[1], new_block, encoded[j - 1]) \
+                == reencoded[j - 1]
+
+    def test_delta_path(self):
+        code = CauchyReedSolomonCode(2, 4)
+        stripe = [b"\x01" * 4, b"\x02" * 4]
+        encoded = code.encode(stripe)
+        new_block = b"\x0f" * 4
+        delta = code.encode_delta(1, stripe[0], new_block)
+        for j in (3, 4):
+            assert code.apply_delta(1, j, delta, encoded[j - 1]) == code.modify(
+                1, j, stripe[0], new_block, encoded[j - 1]
+            )
+
+    def test_cluster_runs_on_cauchy(self):
+        from tests.conftest import stripe_of
+        from repro import ClusterConfig, FabCluster
+
+        cluster = FabCluster(
+            ClusterConfig(m=3, n=5, block_size=32, code_kind="cauchy")
+        )
+        register = cluster.register(0)
+        stripe = stripe_of(3, 32, tag=1)
+        assert register.write_stripe(stripe) == "OK"
+        cluster.crash(2)
+        assert register.read_stripe() == stripe

@@ -1,0 +1,173 @@
+"""GF(2^8) arithmetic: table construction, axioms, vectorized kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.erasure.gf256 import GF256
+from repro.errors import CodingError
+
+elements = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+
+
+class TestScalarOps:
+    def test_add_is_xor(self):
+        assert GF256.add(0b1010, 0b0110) == 0b1100
+
+    def test_sub_equals_add(self):
+        for a, b in [(1, 2), (200, 13), (255, 255)]:
+            assert GF256.sub(a, b) == GF256.add(a, b)
+
+    def test_mul_identity(self):
+        for a in range(256):
+            assert GF256.mul(a, 1) == a
+            assert GF256.mul(1, a) == a
+
+    def test_mul_zero(self):
+        for a in range(256):
+            assert GF256.mul(a, 0) == 0
+            assert GF256.mul(0, a) == 0
+
+    def test_known_products(self):
+        # 2 * 2 = 4 (polynomial x * x = x^2, no reduction)
+        assert GF256.mul(2, 2) == 4
+        # 0x80 * 2 overflows and reduces by 0x11D -> 0x1D
+        assert GF256.mul(0x80, 2) == 0x1D
+
+    def test_div_inverts_mul(self):
+        for a in [1, 7, 100, 255]:
+            for b in [1, 3, 91, 254]:
+                assert GF256.div(GF256.mul(a, b), b) == a
+
+    def test_div_by_zero_raises(self):
+        with pytest.raises(CodingError):
+            GF256.div(5, 0)
+
+    def test_inv_of_zero_raises(self):
+        with pytest.raises(CodingError):
+            GF256.inv(0)
+
+    def test_inv_roundtrip(self):
+        for a in range(1, 256):
+            assert GF256.mul(a, GF256.inv(a)) == 1
+
+    def test_pow_zero_exponent(self):
+        assert GF256.pow(0, 0) == 1
+        assert GF256.pow(17, 0) == 1
+
+    def test_pow_matches_repeated_mul(self):
+        value = 1
+        for exponent in range(1, 10):
+            value = GF256.mul(value, 3)
+            assert GF256.pow(3, exponent) == value
+
+    def test_pow_negative(self):
+        assert GF256.pow(7, -1) == GF256.inv(7)
+
+    def test_pow_zero_base_negative_raises(self):
+        with pytest.raises(CodingError):
+            GF256.pow(0, -1)
+
+    def test_pow_zero_base_positive(self):
+        assert GF256.pow(0, 5) == 0
+
+
+class TestFieldAxioms:
+    @given(elements, elements)
+    def test_add_commutative(self, a, b):
+        assert GF256.add(a, b) == GF256.add(b, a)
+
+    @given(elements, elements)
+    def test_mul_commutative(self, a, b):
+        assert GF256.mul(a, b) == GF256.mul(b, a)
+
+    @given(elements, elements, elements)
+    def test_mul_associative(self, a, b, c):
+        assert GF256.mul(GF256.mul(a, b), c) == GF256.mul(a, GF256.mul(b, c))
+
+    @given(elements, elements, elements)
+    def test_distributive(self, a, b, c):
+        left = GF256.mul(a, GF256.add(b, c))
+        right = GF256.add(GF256.mul(a, b), GF256.mul(a, c))
+        assert left == right
+
+    @given(elements)
+    def test_additive_inverse_is_self(self, a):
+        assert GF256.add(a, a) == 0
+
+    @given(nonzero, nonzero)
+    def test_div_consistent_with_inv(self, a, b):
+        assert GF256.div(a, b) == GF256.mul(a, GF256.inv(b))
+
+    @given(nonzero)
+    def test_generator_has_full_order(self, a):
+        # Every nonzero element is a power of the generator.
+        seen = set()
+        value = 1
+        for _ in range(255):
+            seen.add(value)
+            value = GF256.mul(value, GF256.GENERATOR)
+        assert a in seen
+
+
+class TestVectorizedOps:
+    def test_mul_bytes_matches_scalar(self):
+        data = np.arange(256, dtype=np.uint8)
+        for scalar in [0, 1, 2, 7, 255]:
+            expected = np.array(
+                [GF256.mul(scalar, int(x)) for x in data], dtype=np.uint8
+            )
+            assert np.array_equal(GF256.mul_bytes(scalar, data), expected)
+
+    def test_mul_bytes_zero_scalar(self):
+        data = np.array([1, 2, 3], dtype=np.uint8)
+        assert np.array_equal(GF256.mul_bytes(0, data), np.zeros(3, dtype=np.uint8))
+
+    def test_mul_bytes_returns_copy_for_identity(self):
+        data = np.array([5, 6], dtype=np.uint8)
+        result = GF256.mul_bytes(1, data)
+        result[0] = 99
+        assert data[0] == 5
+
+    def test_addmul_bytes(self):
+        accum = np.array([1, 2, 3, 0], dtype=np.uint8)
+        data = np.array([4, 0, 6, 7], dtype=np.uint8)
+        expected = np.array(
+            [1 ^ GF256.mul(3, 4), 2, 3 ^ GF256.mul(3, 6), GF256.mul(3, 7)],
+            dtype=np.uint8,
+        )
+        GF256.addmul_bytes(accum, 3, data)
+        assert np.array_equal(accum, expected)
+
+    def test_addmul_bytes_scalar_one_is_xor(self):
+        accum = np.array([0xF0, 0x0F], dtype=np.uint8)
+        GF256.addmul_bytes(accum, 1, np.array([0xFF, 0xFF], dtype=np.uint8))
+        assert list(accum) == [0x0F, 0xF0]
+
+    def test_matmul_identity(self):
+        data = np.random.RandomState(0).randint(
+            0, 256, size=(3, 16)
+        ).astype(np.uint8)
+        identity = np.eye(3, dtype=np.uint8)
+        assert np.array_equal(GF256.matmul(identity, data), data)
+
+    def test_matmul_dimension_mismatch(self):
+        with pytest.raises(CodingError):
+            GF256.matmul(
+                np.zeros((2, 3), dtype=np.uint8), np.zeros((2, 4), dtype=np.uint8)
+            )
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_matmul_linear(self, seed):
+        rng = np.random.RandomState(seed % (2**31))
+        matrix = rng.randint(0, 256, size=(2, 3)).astype(np.uint8)
+        x = rng.randint(0, 256, size=(3, 8)).astype(np.uint8)
+        y = rng.randint(0, 256, size=(3, 8)).astype(np.uint8)
+        left = GF256.matmul(matrix, np.bitwise_xor(x, y))
+        right = np.bitwise_xor(GF256.matmul(matrix, x), GF256.matmul(matrix, y))
+        assert np.array_equal(left, right)
+
+    def test_elements(self):
+        assert GF256.elements() == list(range(256))

@@ -1,0 +1,137 @@
+"""Matrix algebra over GF(2^8): inversion, rank, MDS constructions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.erasure import matrix as gfm
+from repro.erasure.gf256 import GF256
+from repro.errors import CodingError
+
+
+class TestIdentityAndConstructors:
+    def test_identity(self):
+        eye = gfm.identity(4)
+        assert eye.shape == (4, 4)
+        assert np.array_equal(eye, np.eye(4, dtype=np.uint8))
+
+    def test_vandermonde_first_column_ones(self):
+        v = gfm.vandermonde(5, 3)
+        assert all(v[i, 0] == 1 for i in range(5))
+
+    def test_vandermonde_powers(self):
+        v = gfm.vandermonde(5, 4)
+        for i in range(1, 5):
+            for j in range(4):
+                assert v[i, j] == GF256.pow(i, j)
+
+    def test_vandermonde_row_zero(self):
+        v = gfm.vandermonde(3, 3)
+        assert list(v[0]) == [1, 0, 0]
+
+    def test_vandermonde_too_many_rows(self):
+        with pytest.raises(CodingError):
+            gfm.vandermonde(257, 2)
+
+    def test_cauchy_all_square_submatrices_invertible(self):
+        c = gfm.cauchy(4, 3)
+        # every 3x3 row subset must invert
+        import itertools
+
+        for rows in itertools.combinations(range(4), 3):
+            gfm.invert(c[list(rows), :])  # must not raise
+
+    def test_cauchy_bounds(self):
+        with pytest.raises(CodingError):
+            gfm.cauchy(200, 100)
+
+
+class TestInversion:
+    def test_invert_identity(self):
+        eye = gfm.identity(5)
+        assert np.array_equal(gfm.invert(eye), eye)
+
+    def test_invert_roundtrip(self):
+        rng = np.random.RandomState(7)
+        for _ in range(10):
+            size = rng.randint(1, 8)
+            candidate = rng.randint(0, 256, size=(size, size)).astype(np.uint8)
+            try:
+                inverse = gfm.invert(candidate)
+            except CodingError:
+                continue  # singular sample
+            product = GF256.matmul(candidate, inverse)
+            assert np.array_equal(product, gfm.identity(size))
+
+    def test_invert_singular_raises(self):
+        singular = np.array([[1, 2], [1, 2]], dtype=np.uint8)
+        with pytest.raises(CodingError):
+            gfm.invert(singular)
+
+    def test_invert_zero_matrix_raises(self):
+        with pytest.raises(CodingError):
+            gfm.invert(np.zeros((3, 3), dtype=np.uint8))
+
+    def test_invert_non_square_raises(self):
+        with pytest.raises(CodingError):
+            gfm.invert(np.ones((2, 3), dtype=np.uint8))
+
+    def test_invert_needs_row_swap(self):
+        # Zero pivot in the first position forces a swap.
+        m = np.array([[0, 1], [1, 0]], dtype=np.uint8)
+        inverse = gfm.invert(m)
+        assert np.array_equal(GF256.matmul(m, inverse), gfm.identity(2))
+
+
+class TestRank:
+    def test_rank_identity(self):
+        assert gfm.rank(gfm.identity(4)) == 4
+
+    def test_rank_zero(self):
+        assert gfm.rank(np.zeros((3, 5), dtype=np.uint8)) == 0
+
+    def test_rank_duplicated_rows(self):
+        m = np.array([[1, 2, 3], [1, 2, 3], [0, 1, 0]], dtype=np.uint8)
+        assert gfm.rank(m) == 2
+
+    def test_rank_wide(self):
+        m = np.array([[1, 0, 1, 1], [0, 1, 1, 0]], dtype=np.uint8)
+        assert gfm.rank(m) == 2
+
+    def test_vandermonde_has_full_rank(self):
+        assert gfm.rank(gfm.vandermonde(8, 5)) == 5
+
+
+class TestSystematicGenerator:
+    @settings(deadline=None, max_examples=30)
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=6),
+    )
+    def test_mds_property(self, m, extra):
+        """Every m-row subset of the generator must be invertible."""
+        import itertools
+
+        n = m + extra
+        generator = gfm.systematic_from_vandermonde(m, n)
+        assert generator.shape == (n, m)
+        assert np.array_equal(generator[:m], gfm.identity(m))
+        # Check a sample of m-row subsets (all if few).
+        subsets = list(itertools.combinations(range(n), m))
+        for rows in subsets[:50]:
+            square = gfm.submatrix(generator, rows)
+            assert gfm.rank(square) == m
+
+    def test_rejects_m_greater_than_n(self):
+        with pytest.raises(CodingError):
+            gfm.systematic_from_vandermonde(5, 3)
+
+    def test_rejects_n_over_256(self):
+        with pytest.raises(CodingError):
+            gfm.systematic_from_vandermonde(2, 300)
+
+    def test_matmul_helper(self):
+        a = gfm.identity(3)
+        b = gfm.vandermonde(3, 3)
+        assert np.array_equal(gfm.matmul(a, b), b)

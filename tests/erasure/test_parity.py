@@ -1,0 +1,88 @@
+"""XOR single-parity (RAID-5) code."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.erasure.parity import SingleParityCode
+from repro.errors import CodingError
+
+
+class TestConstruction:
+    def test_requires_n_equals_m_plus_one(self):
+        SingleParityCode(4, 5)
+        with pytest.raises(CodingError):
+            SingleParityCode(3, 5)
+        with pytest.raises(CodingError):
+            SingleParityCode(3, 3)
+
+
+class TestEncodeDecode:
+    def test_parity_is_xor_of_data(self):
+        code = SingleParityCode(3, 4)
+        stripe = [b"\x01\x02", b"\x04\x08", b"\x10\x20"]
+        encoded = code.encode(stripe)
+        assert encoded[3] == b"\x15\x2a"
+
+    def test_decode_full_data(self):
+        code = SingleParityCode(2, 3)
+        stripe = [b"ab", b"cd"]
+        encoded = code.encode(stripe)
+        assert code.decode({1: encoded[0], 2: encoded[1]}) == stripe
+
+    def test_decode_each_missing_data_block(self):
+        code = SingleParityCode(3, 4)
+        stripe = [b"aaaa", b"bbbb", b"cccc"]
+        encoded = code.encode(stripe)
+        for missing in range(1, 4):
+            blocks = {
+                i: encoded[i - 1] for i in range(1, 5) if i != missing
+            }
+            assert code.decode(blocks) == stripe
+
+    def test_decode_two_missing_raises(self):
+        code = SingleParityCode(3, 4)
+        encoded = code.encode([b"a", b"b", b"c"])
+        with pytest.raises(CodingError):
+            code.decode({1: encoded[0], 4: encoded[3]})
+
+    def test_decode_rejects_out_of_range_index(self):
+        code = SingleParityCode(3, 4)
+        encoded = code.encode([b"a", b"b", b"c"])
+        with pytest.raises(CodingError):
+            code.decode({1: encoded[0], 2: encoded[1], 12: encoded[1]})
+
+    def test_decode_too_few_raises(self):
+        code = SingleParityCode(3, 4)
+        encoded = code.encode([b"a", b"b", b"c"])
+        with pytest.raises(CodingError):
+            code.decode({1: encoded[0], 2: encoded[1]})
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=32),
+        st.randoms(use_true_random=False),
+    )
+    def test_roundtrip_random(self, m, size, rng):
+        code = SingleParityCode(m, m + 1)
+        stripe = [bytes(rng.randrange(256) for _ in range(size)) for _ in range(m)]
+        encoded = code.encode(stripe)
+        survivors = rng.sample(range(1, m + 2), m)
+        assert code.decode({i: encoded[i - 1] for i in survivors}) == stripe
+
+
+class TestModify:
+    def test_modify_matches_reencode(self):
+        code = SingleParityCode(3, 4)
+        stripe = [b"\x11", b"\x22", b"\x33"]
+        encoded = code.encode(stripe)
+        new_block = b"\x7f"
+        new_stripe = [stripe[0], new_block, stripe[2]]
+        reencoded = code.encode(new_stripe)
+        assert code.modify(2, 4, stripe[1], new_block, encoded[3]) == reencoded[3]
+
+    def test_modify_validates(self):
+        code = SingleParityCode(2, 3)
+        with pytest.raises(CodingError):
+            code.modify(1, 2, b"a", b"b", b"c")

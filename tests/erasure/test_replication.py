@@ -1,0 +1,47 @@
+"""Replication as the degenerate m=1 erasure code."""
+
+import pytest
+
+from repro.erasure.replication import ReplicationCode
+from repro.errors import CodingError
+
+
+class TestReplicationCode:
+    def test_requires_m_one(self):
+        ReplicationCode(1, 3)
+        with pytest.raises(CodingError):
+            ReplicationCode(2, 3)
+
+    def test_encode_copies(self):
+        code = ReplicationCode(1, 4)
+        assert code.encode([b"xyz"]) == [b"xyz"] * 4
+
+    def test_decode_single(self):
+        code = ReplicationCode(1, 3)
+        assert code.decode({2: b"v"}) == [b"v"]
+
+    def test_decode_consistent_copies(self):
+        code = ReplicationCode(1, 3)
+        assert code.decode({1: b"v", 3: b"v"}) == [b"v"]
+
+    def test_decode_inconsistent_raises(self):
+        code = ReplicationCode(1, 3)
+        with pytest.raises(CodingError):
+            code.decode({1: b"v", 2: b"w"})
+
+    def test_decode_empty_raises(self):
+        code = ReplicationCode(1, 3)
+        with pytest.raises(CodingError):
+            code.decode({})
+
+    def test_modify_returns_new_value(self):
+        code = ReplicationCode(1, 3)
+        assert code.modify(1, 2, b"old", b"new", b"old") == b"new"
+
+    def test_modify_validates_indices(self):
+        code = ReplicationCode(1, 3)
+        with pytest.raises(CodingError):
+            code.modify(2, 3, b"a", b"b", b"a")
+
+    def test_overhead(self):
+        assert ReplicationCode(1, 4).storage_overhead == 4.0

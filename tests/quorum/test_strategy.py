@@ -1,0 +1,66 @@
+"""Quorum selection strategies."""
+
+import random
+
+from repro.quorum.strategy import (
+    ExcludeSuspectedStrategy,
+    PreferredQuorumStrategy,
+    RandomQuorumStrategy,
+)
+
+UNIVERSE = (1, 2, 3, 4, 5)
+
+
+class TestRandomStrategy:
+    def test_is_permutation(self):
+        strategy = RandomQuorumStrategy(random.Random(1))
+        order = strategy.order(UNIVERSE)
+        assert sorted(order) == list(UNIVERSE)
+
+    def test_deterministic_with_seed(self):
+        a = RandomQuorumStrategy(random.Random(42)).order(UNIVERSE)
+        b = RandomQuorumStrategy(random.Random(42)).order(UNIVERSE)
+        assert a == b
+
+    def test_pick(self):
+        strategy = RandomQuorumStrategy(random.Random(0))
+        assert len(strategy.pick(UNIVERSE, 3)) == 3
+
+
+class TestPreferredStrategy:
+    def test_preference_first(self):
+        strategy = PreferredQuorumStrategy([4, 2])
+        assert strategy.order(UNIVERSE) == [4, 2, 1, 3, 5]
+
+    def test_unknown_preferences_ignored(self):
+        strategy = PreferredQuorumStrategy([9, 3])
+        assert strategy.order(UNIVERSE) == [3, 1, 2, 4, 5]
+
+    def test_pick_respects_preference(self):
+        strategy = PreferredQuorumStrategy([5, 4, 3, 2, 1])
+        assert strategy.pick(UNIVERSE, 2) == [5, 4]
+
+
+class TestExcludeSuspectedStrategy:
+    def test_suspected_demoted_not_dropped(self):
+        inner = PreferredQuorumStrategy([1, 2, 3, 4, 5])
+        strategy = ExcludeSuspectedStrategy(inner)
+        strategy.suspect(1)
+        strategy.suspect(3)
+        order = strategy.order(UNIVERSE)
+        assert order == [2, 4, 5, 1, 3]
+        assert sorted(order) == list(UNIVERSE)  # nothing dropped
+
+    def test_unsuspect_restores(self):
+        inner = PreferredQuorumStrategy([1, 2, 3, 4, 5])
+        strategy = ExcludeSuspectedStrategy(inner)
+        strategy.suspect(1)
+        strategy.unsuspect(1)
+        assert strategy.order(UNIVERSE) == [1, 2, 3, 4, 5]
+
+    def test_suspected_property_is_copy(self):
+        strategy = ExcludeSuspectedStrategy(PreferredQuorumStrategy([]))
+        strategy.suspect(2)
+        view = strategy.suspected
+        view.add(99)
+        assert strategy.suspected == {2}

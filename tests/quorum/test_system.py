@@ -1,0 +1,127 @@
+"""m-quorum system constructions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, QuorumError
+from repro.quorum.system import ExplicitQuorumSystem, MajorityMQuorumSystem
+
+
+class TestMajorityMQuorumSystem:
+    def test_default_f_is_maximum(self):
+        qs = MajorityMQuorumSystem(n=5, m=3)
+        assert qs.f == 1
+        assert qs.quorum_size == 4
+
+    def test_explicit_f(self):
+        qs = MajorityMQuorumSystem(n=7, m=3, f=1)
+        assert qs.quorum_size == 6
+
+    def test_f_above_bound_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MajorityMQuorumSystem(n=5, m=3, f=2)
+
+    def test_negative_f_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MajorityMQuorumSystem(n=5, m=3, f=-1)
+
+    def test_bad_m_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MajorityMQuorumSystem(n=5, m=0)
+        with pytest.raises(ConfigurationError):
+            MajorityMQuorumSystem(n=5, m=6)
+
+    def test_universe(self):
+        assert MajorityMQuorumSystem(4, 2).universe == (1, 2, 3, 4)
+
+    def test_is_quorum(self):
+        qs = MajorityMQuorumSystem(n=5, m=3)  # quorum size 4
+        assert qs.is_quorum([1, 2, 3, 4])
+        assert qs.is_quorum([1, 2, 3, 4, 5])
+        assert not qs.is_quorum([1, 2, 3])
+        # Out-of-universe and duplicate ids don't help.
+        assert not qs.is_quorum([1, 2, 3, 3, 99])
+
+    def test_quorums_enumeration(self):
+        qs = MajorityMQuorumSystem(n=5, m=3)
+        quorums = list(qs.quorums())
+        assert len(quorums) == 5  # C(5, 4)
+        assert all(len(q) == 4 for q in quorums)
+
+    def test_find_live_quorum(self):
+        qs = MajorityMQuorumSystem(n=5, m=3)
+        quorum = qs.find_live_quorum([5, 3, 2, 1])
+        assert quorum == frozenset({1, 2, 3, 5})
+
+    def test_find_live_quorum_insufficient(self):
+        qs = MajorityMQuorumSystem(n=5, m=3)
+        with pytest.raises(QuorumError):
+            qs.find_live_quorum([1, 2, 3])
+
+    @settings(deadline=None, max_examples=50)
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=12),
+    )
+    def test_any_two_quorums_intersect_in_m(self, n, m):
+        if m > n:
+            return
+        qs = MajorityMQuorumSystem(n=n, m=m)
+        # Worst case: two maximally disjoint quorums.
+        q1 = frozenset(range(1, qs.quorum_size + 1))
+        q2 = frozenset(range(n - qs.quorum_size + 1, n + 1))
+        assert len(q1 & q2) >= m
+
+    def test_min_quorum_size(self):
+        qs = MajorityMQuorumSystem(n=8, m=5)
+        assert qs.min_quorum_size() == qs.quorum_size == 7
+
+    def test_repr(self):
+        assert "quorum_size=4" in repr(MajorityMQuorumSystem(5, 3))
+
+
+class TestExplicitQuorumSystem:
+    def test_valid_family(self):
+        import itertools
+
+        family = [set(c) for c in itertools.combinations(range(1, 6), 4)]
+        qs = ExplicitQuorumSystem(n=5, m=3, quorums=family, f=1)
+        assert qs.is_quorum({1, 2, 3, 4})
+        assert qs.is_quorum({1, 2, 3, 4, 5})
+        assert not qs.is_quorum({1, 2, 3})
+
+    def test_consistency_violation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExplicitQuorumSystem(n=6, m=3, quorums=[{1, 2, 3}, {4, 5, 6}])
+
+    def test_availability_violation_rejected(self):
+        # Single quorum containing process 1: faulty set {1} kills it.
+        with pytest.raises(ConfigurationError):
+            ExplicitQuorumSystem(n=4, m=2, quorums=[{1, 2, 3}], f=1)
+
+    def test_quorum_smaller_than_m_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExplicitQuorumSystem(n=4, m=3, quorums=[{1, 2}])
+
+    def test_out_of_universe_member_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExplicitQuorumSystem(n=3, m=2, quorums=[{1, 2, 7}])
+
+    def test_empty_family_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExplicitQuorumSystem(n=3, m=2, quorums=[])
+
+    def test_find_live_quorum(self):
+        qs = ExplicitQuorumSystem(
+            n=4, m=2, quorums=[{1, 2, 3}, {2, 3, 4}], f=0
+        )
+        assert qs.find_live_quorum({2, 3, 4}) == frozenset({2, 3, 4})
+        with pytest.raises(QuorumError):
+            qs.find_live_quorum({1, 4})
+
+    def test_min_quorum_size(self):
+        qs = ExplicitQuorumSystem(
+            n=5, m=2, quorums=[{1, 2, 3}, {2, 3, 4, 5}], f=0
+        )
+        assert qs.min_quorum_size() == 3

@@ -1,0 +1,62 @@
+"""Brick and disk reliability parameters."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reliability.components import BrickParams, DiskParams, brick_failure_rate
+
+
+class TestDiskParams:
+    def test_failure_rate(self):
+        disk = DiskParams(mttf_hours=500_000)
+        assert disk.failure_rate == pytest.approx(2e-6)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DiskParams(mttf_hours=0)
+
+
+class TestBrickParams:
+    def test_r0_capacity(self):
+        brick = BrickParams(internal_raid="r0")
+        assert brick.capacity_tb == pytest.approx(12 * 0.25)
+        assert brick.capacity_overhead == 1.0
+
+    def test_r5_capacity_loses_one_disk(self):
+        brick = BrickParams(internal_raid="r5")
+        assert brick.capacity_tb == pytest.approx(11 * 0.25)
+        assert brick.capacity_overhead == pytest.approx(12 / 11)
+
+    def test_r0_rate_dominated_by_disks(self):
+        brick = BrickParams(internal_raid="r0")
+        d, lam = 12, 2e-6
+        assert brick.data_loss_rate > d * lam
+
+    def test_r5_much_more_reliable_than_r0(self):
+        r0 = BrickParams(internal_raid="r0")
+        r5 = BrickParams(internal_raid="r5")
+        assert r0.data_loss_rate > 5 * r5.data_loss_rate
+
+    def test_r5_rate_dominated_by_enclosure(self):
+        brick = BrickParams(internal_raid="r5")
+        lam_enclosure = 1.0 / brick.enclosure_mttf_hours
+        assert brick.data_loss_rate == pytest.approx(lam_enclosure, rel=0.05)
+
+    def test_reliable_array_boosts_enclosure(self):
+        normal = BrickParams(internal_raid="r5")
+        reliable = BrickParams(internal_raid="r5", reliable_array=True)
+        assert reliable.data_loss_rate < normal.data_loss_rate
+
+    def test_mttf_is_inverse_rate(self):
+        brick = BrickParams()
+        assert brick.mttf_hours == pytest.approx(1.0 / brick.data_loss_rate)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BrickParams(internal_raid="r6")
+        with pytest.raises(ConfigurationError):
+            BrickParams(disks_per_brick=1)
+
+    def test_free_function_matches_property(self):
+        brick = BrickParams()
+        assert brick_failure_rate(brick) == brick.data_loss_rate

@@ -1,0 +1,61 @@
+"""Birth-death MTTDL solver."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reliability.markov import birth_death_mttdl, closed_form_mttdl
+
+
+class TestExactSolver:
+    def test_no_redundancy_is_first_failure(self):
+        # t=0: MTTDL = 1 / (g * lam)
+        assert birth_death_mttdl(10, 0, 0.01, 1.0) == pytest.approx(10.0)
+
+    def test_single_brick(self):
+        assert birth_death_mttdl(1, 0, 0.001, 1.0) == pytest.approx(1000.0)
+
+    def test_redundancy_multiplies_mttdl(self):
+        lam, mu = 1e-4, 1.0
+        t0 = birth_death_mttdl(8, 0, lam, mu)
+        t1 = birth_death_mttdl(8, 1, lam, mu)
+        t2 = birth_death_mttdl(8, 2, lam, mu)
+        assert t1 / t0 > 100
+        assert t2 / t1 > 100
+
+    def test_faster_repair_helps(self):
+        lam = 1e-4
+        slow = birth_death_mttdl(8, 2, lam, mu=0.1)
+        fast = birth_death_mttdl(8, 2, lam, mu=1.0)
+        assert fast > 10 * slow
+
+    def test_more_bricks_hurt(self):
+        lam, mu = 1e-4, 1.0
+        small = birth_death_mttdl(8, 3, lam, mu)
+        large = birth_death_mttdl(80, 3, lam, mu)
+        assert small > large
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            birth_death_mttdl(3, 3, 0.1, 1.0)  # t >= g
+        with pytest.raises(ConfigurationError):
+            birth_death_mttdl(3, -1, 0.1, 1.0)
+        with pytest.raises(ConfigurationError):
+            birth_death_mttdl(3, 1, 0.0, 1.0)
+
+
+class TestClosedFormAgreement:
+    @pytest.mark.parametrize("g,t", [(4, 1), (8, 2), (8, 3), (20, 3)])
+    def test_matches_exact_when_repair_dominates(self, g, t):
+        lam, mu = 1e-6, 1.0  # lam << mu: approximation regime
+        exact = birth_death_mttdl(g, t, lam, mu)
+        approx = closed_form_mttdl(g, t, lam, mu)
+        assert exact == pytest.approx(approx, rel=0.05)
+
+    def test_t0_exact(self):
+        assert closed_form_mttdl(5, 0, 0.01, 1.0) == pytest.approx(
+            birth_death_mttdl(5, 0, 0.01, 1.0)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            closed_form_mttdl(2, 2, 0.1, 1.0)

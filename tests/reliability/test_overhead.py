@@ -1,0 +1,80 @@
+"""The Figure 3 solver: storage overhead vs MTTDL requirement."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reliability.components import BrickParams
+from repro.reliability.overhead import (
+    cheapest_erasure_code,
+    cheapest_replication,
+    overhead_curve,
+)
+
+R0 = BrickParams(internal_raid="r0")
+R5 = BrickParams(internal_raid="r5")
+
+CAPACITY = 256.0  # the paper's 256 TB system
+
+
+class TestFigure3Anchors:
+    """The paper's quoted numbers at the one-million-year requirement."""
+
+    def test_replication_r0_needs_overhead_4(self):
+        point = cheapest_replication(1e6, CAPACITY, R0)
+        assert point is not None
+        assert point.overhead == pytest.approx(4.0)
+
+    def test_replication_r5_needs_about_3_2(self):
+        point = cheapest_replication(1e6, CAPACITY, R5)
+        assert point is not None
+        assert 3.0 < point.overhead < 3.5
+
+    def test_erasure_r0_needs_overhead_1_6(self):
+        point = cheapest_erasure_code(1e6, CAPACITY, R0)
+        assert point is not None
+        assert point.overhead == pytest.approx(1.6)
+        assert point.config == "EC(5,8)/r0"
+
+    def test_erasure_r5_yet_lower(self):
+        point = cheapest_erasure_code(1e6, CAPACITY, R5)
+        assert point is not None
+        assert point.overhead < 1.6
+
+
+class TestCurveShape:
+    TARGETS = [1e0, 1e2, 1e4, 1e6, 1e8, 1e10]
+
+    def test_overhead_monotone_in_requirement(self):
+        for scheme, brick in [("replication", R0), ("erasure", R0)]:
+            points = overhead_curve(self.TARGETS, CAPACITY, brick, scheme)
+            overheads = [p.overhead for p in points]
+            assert overheads == sorted(overheads)
+
+    def test_replication_rises_much_faster(self):
+        """The headline of Figure 3."""
+        replication = overhead_curve(self.TARGETS, CAPACITY, R0, "replication")
+        erasure = overhead_curve(self.TARGETS, CAPACITY, R0, "erasure")
+        for rep_point, ec_point in zip(replication, erasure):
+            assert ec_point.overhead <= rep_point.overhead
+        # At the high end the gap is large.
+        assert replication[-1].overhead / erasure[-1].overhead > 2.0
+
+    def test_achieved_meets_requirement(self):
+        for point in overhead_curve(self.TARGETS, CAPACITY, R0, "erasure"):
+            assert point.achieved_mttdl_years >= point.required_mttdl_years
+
+    def test_unreachable_targets_dropped(self):
+        points = overhead_curve([1e60], CAPACITY, R0, "replication")
+        assert points == []
+
+    def test_bad_scheme_rejected(self):
+        with pytest.raises(ConfigurationError):
+            overhead_curve([1e6], CAPACITY, R0, "raid2")
+
+    def test_bad_m_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cheapest_erasure_code(1e6, CAPACITY, R0, m=0)
+
+    def test_low_requirement_is_cheap(self):
+        point = cheapest_replication(1e-3, CAPACITY, R0)
+        assert point.overhead == 1.0  # one copy suffices

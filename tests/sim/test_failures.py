@@ -1,0 +1,149 @@
+"""Failure injectors."""
+
+import pytest
+
+from repro.sim.failures import (
+    FailureEvent,
+    MessageCountTrigger,
+    RandomFailures,
+    ScheduledFailures,
+)
+from repro.sim.kernel import Environment
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.node import Node
+
+
+def make_nodes(count=3):
+    env = Environment()
+    network = Network(env, NetworkConfig())
+    nodes = {pid: Node(env, network, pid) for pid in range(1, count + 1)}
+    return env, network, nodes
+
+
+class TestFailureEvent:
+    def test_validates_action(self):
+        with pytest.raises(ValueError):
+            FailureEvent(time=1.0, process_id=1, action="explode")
+
+
+class TestScheduledFailures:
+    def test_crash_and_recover_on_schedule(self):
+        env, _network, nodes = make_nodes()
+        ScheduledFailures(
+            env,
+            nodes,
+            [
+                FailureEvent(time=5.0, process_id=1, action="crash"),
+                FailureEvent(time=10.0, process_id=1, action="recover"),
+            ],
+        )
+        env.run(until=6)
+        assert not nodes[1].is_up
+        env.run(until=11)
+        assert nodes[1].is_up
+
+    def test_events_applied_in_time_order(self):
+        env, _network, nodes = make_nodes()
+        injector = ScheduledFailures(
+            env,
+            nodes,
+            [
+                FailureEvent(time=10.0, process_id=2, action="crash"),
+                FailureEvent(time=5.0, process_id=1, action="crash"),
+            ],
+        )
+        env.run()
+        assert [e.process_id for e in injector.applied] == [1, 2]
+
+    def test_unknown_node_ignored(self):
+        env, _network, nodes = make_nodes()
+        ScheduledFailures(
+            env, nodes, [FailureEvent(time=1.0, process_id=99, action="crash")]
+        )
+        env.run()  # must not raise
+
+
+class TestRandomFailures:
+    def test_respects_max_down(self):
+        env, _network, nodes = make_nodes(count=5)
+        injector = RandomFailures(
+            env,
+            nodes,
+            max_down=2,
+            crash_probability=1.0,
+            recovery_probability=0.0,
+            check_interval=1.0,
+            horizon=50.0,
+            seed=1,
+        )
+        max_seen = 0
+        for _ in range(40):
+            env.run(until=env.now + 1.0)
+            down = sum(1 for node in nodes.values() if not node.is_up)
+            max_seen = max(max_seen, down)
+        assert max_seen <= 2
+        assert injector.crashes_injected >= 2
+
+    def test_recoveries_happen(self):
+        env, _network, nodes = make_nodes(count=3)
+        injector = RandomFailures(
+            env,
+            nodes,
+            max_down=1,
+            crash_probability=0.5,
+            recovery_probability=1.0,
+            check_interval=1.0,
+            horizon=100.0,
+            seed=2,
+        )
+        env.run(until=100)
+        assert injector.recoveries_injected > 0
+        assert injector.crashes_injected >= injector.recoveries_injected
+
+    def test_horizon_stops_injection(self):
+        env, _network, nodes = make_nodes()
+        injector = RandomFailures(
+            env, nodes, max_down=3, crash_probability=1.0,
+            check_interval=1.0, horizon=5.0, seed=3,
+        )
+        env.run(until=50)
+        before = injector.crashes_injected
+        env.run(until=200)
+        # Recoveries are off by default prob 0.5; crashes capped by horizon.
+        assert injector.crashes_injected == before
+
+
+class TestMessageCountTrigger:
+    def test_crashes_after_nth_message(self):
+        env, network, nodes = make_nodes()
+        received = []
+        nodes[2].register_handler(str, lambda src, payload: received.append(payload))
+        trigger = MessageCountTrigger(network, nodes[1], count=2)
+        nodes[1].send(2, "one")
+        nodes[1].send(2, "two")  # delivered, then node 1 crashes
+        nodes[1].send(2, "three")  # node 1 is down: lost
+        env.run()
+        assert trigger.fired
+        assert not nodes[1].is_up
+        assert received == ["one", "two"]
+
+    def test_filters_by_payload_type(self):
+        env, network, nodes = make_nodes()
+        trigger = MessageCountTrigger(network, nodes[1], count=1, payload_type=int)
+        nodes[1].send(2, "string messages do not count")
+        assert not trigger.fired
+        nodes[1].send(2, 42)
+        assert trigger.fired
+
+    def test_only_counts_its_node(self):
+        env, network, nodes = make_nodes()
+        trigger = MessageCountTrigger(network, nodes[1], count=1)
+        nodes[2].send(3, "other sender")
+        assert not trigger.fired
+
+    def test_uninstall(self):
+        env, network, nodes = make_nodes()
+        trigger = MessageCountTrigger(network, nodes[1], count=99)
+        trigger.uninstall()
+        nodes[1].send(2, "x")
+        assert not trigger.fired

@@ -1,0 +1,68 @@
+"""Metric counters."""
+
+from repro.sim.monitor import Metrics, OpMetrics
+
+
+class TestOpMetrics:
+    def test_latency(self):
+        op = OpMetrics(kind="read", started_at=5.0)
+        assert op.latency is None
+        op.finished_at = 9.0
+        assert op.latency == 4.0
+
+    def test_latency_in_delta(self):
+        op = OpMetrics(kind="read")
+        op.round_trips = 3
+        assert op.latency_in_delta == 6
+
+
+class TestMetrics:
+    def test_global_counters(self):
+        metrics = Metrics()
+        metrics.count_message(10)
+        metrics.count_message(20)
+        metrics.count_disk_read(2)
+        metrics.count_disk_write()
+        metrics.count_drop()
+        assert metrics.total_messages == 2
+        assert metrics.total_bytes == 30
+        assert metrics.total_disk_reads == 2
+        assert metrics.total_disk_writes == 1
+        assert metrics.dropped_messages == 1
+
+    def test_op_scoping(self):
+        metrics = Metrics()
+        op = metrics.begin_op("read", now=0.0)
+        metrics.count_message(8)
+        metrics.count_disk_read()
+        metrics.count_round_trip()
+        metrics.end_op(op, now=2.0)
+        assert op.messages == 1
+        assert op.bytes_sent == 8
+        assert op.disk_reads == 1
+        assert op.round_trips == 1
+        assert op.latency == 2.0
+        # counts outside any op only hit globals
+        metrics.count_message(5)
+        assert op.messages == 1
+
+    def test_summary_groups_by_kind_and_path(self):
+        metrics = Metrics()
+        for aborted in (False, True):
+            op = metrics.begin_op("write", now=0.0)
+            metrics.count_message(4)
+            metrics.count_round_trip()
+            metrics.end_op(op, now=1.0, aborted=aborted)
+        slow = metrics.begin_op("write", now=0.0)
+        slow.path = "slow"
+        metrics.end_op(slow, now=3.0)
+        summary = metrics.summary()
+        assert summary["write/fast"]["count"] == 2
+        assert summary["write/fast"]["abort_rate"] == 0.5
+        assert summary["write/fast"]["messages"] == 1.0
+        assert summary["write/slow"]["count"] == 1
+
+    def test_unfinished_ops_excluded_from_summary(self):
+        metrics = Metrics()
+        metrics.begin_op("read", now=0.0)  # never ended (e.g. crash)
+        assert metrics.summary() == {}

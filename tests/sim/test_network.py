@@ -1,0 +1,215 @@
+"""Fair-loss network: delivery, drops, duplicates, partitions."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.kernel import Environment
+from repro.sim.monitor import Metrics
+from repro.sim.network import Message, Network, NetworkConfig
+
+
+def make_net(**kwargs):
+    env = Environment()
+    network = Network(env, NetworkConfig(**kwargs), Metrics())
+    return env, network
+
+
+class TestConfigValidation:
+    def test_latency_bounds(self):
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(min_latency=5, max_latency=1)
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(min_latency=-1)
+
+    def test_drop_probability_bounds(self):
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(drop_probability=1.0)
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(drop_probability=-0.1)
+
+    def test_delta_is_max_latency(self):
+        assert NetworkConfig(min_latency=1, max_latency=3).delta == 3
+
+
+class TestDelivery:
+    def test_basic_delivery(self):
+        env, network = make_net()
+        received = []
+        network.register(1, lambda msg: None)
+        network.register(2, received.append)
+        network.send(1, 2, "hello", size=5)
+        env.run()
+        assert len(received) == 1
+        assert received[0].payload == "hello"
+        assert received[0].src == 1
+
+    def test_latency_applied(self):
+        env, network = make_net(min_latency=3.0, max_latency=3.0)
+        times = []
+        network.register(2, lambda msg: times.append(env.now))
+        network.send(1, 2, "x")
+        env.run()
+        assert times == [3.0]
+
+    def test_latency_within_bounds(self):
+        env, network = make_net(min_latency=1.0, max_latency=5.0, jitter_seed=3)
+        times = []
+        network.register(2, lambda msg: times.append(env.now))
+        for _ in range(50):
+            network.send(1, 2, "x")
+        env.run()
+        assert all(1.0 <= t <= 5.0 for t in times)
+
+    def test_variable_latency_reorders(self):
+        env, network = make_net(min_latency=1.0, max_latency=10.0, jitter_seed=1)
+        order = []
+        network.register(2, lambda msg: order.append(msg.payload))
+        for index in range(20):
+            network.send(1, 2, index)
+        env.run()
+        assert sorted(order) == list(range(20))
+        assert order != list(range(20))  # at least one reorder with this seed
+
+    def test_unregistered_destination_drops(self):
+        env, network = make_net()
+        network.send(1, 42, "void")
+        env.run()
+        assert network.metrics.dropped_messages == 1
+
+    def test_duplicate_registration_rejected(self):
+        _env, network = make_net()
+        network.register(1, lambda msg: None)
+        with pytest.raises(SimulationError):
+            network.register(1, lambda msg: None)
+
+    def test_unregister(self):
+        env, network = make_net()
+        received = []
+        network.register(2, received.append)
+        network.unregister(2)
+        network.send(1, 2, "x")
+        env.run()
+        assert received == []
+
+    def test_self_send_goes_through_queue(self):
+        env, network = make_net(min_latency=2.0, max_latency=2.0)
+        times = []
+        network.register(1, lambda msg: times.append(env.now))
+        network.send(1, 1, "loop")
+        env.run()
+        assert times == [2.0]
+
+
+class TestLossAndDuplication:
+    def test_drops_are_probabilistic(self):
+        env, network = make_net(drop_probability=0.5, jitter_seed=7)
+        received = []
+        network.register(2, received.append)
+        for _ in range(200):
+            network.send(1, 2, "x")
+        env.run()
+        assert 40 < len(received) < 160  # ~100 expected
+        assert network.metrics.dropped_messages == 200 - len(received)
+
+    def test_fair_loss_eventual_delivery(self):
+        """Retransmission beats 90% loss (the fair-loss property)."""
+        env, network = make_net(drop_probability=0.9, jitter_seed=11)
+        received = []
+        network.register(2, received.append)
+        for _ in range(300):
+            network.send(1, 2, "retry")
+        env.run()
+        assert len(received) >= 1
+
+    def test_duplicates(self):
+        env, network = make_net(duplicate_probability=1.0)
+        received = []
+        network.register(2, received.append)
+        network.send(1, 2, "x")
+        env.run()
+        assert len(received) == 2
+
+    def test_metrics_count_messages_and_bytes(self):
+        env, network = make_net()
+        network.register(2, lambda msg: None)
+        network.send(1, 2, "x", size=10)
+        network.send(1, 2, "y", size=32)
+        assert network.metrics.total_messages == 2
+        assert network.metrics.total_bytes == 42
+
+
+class TestFailuresAndPartitions:
+    def test_down_destination_loses_messages(self):
+        env, network = make_net()
+        received = []
+        network.register(2, received.append)
+        network.set_down(2, True)
+        network.send(1, 2, "x")
+        env.run()
+        assert received == []
+        network.set_down(2, False)
+        network.send(1, 2, "y")
+        env.run()
+        assert len(received) == 1
+
+    def test_down_source_cannot_send(self):
+        env, network = make_net()
+        received = []
+        network.register(2, received.append)
+        network.set_down(1, True)
+        network.send(1, 2, "x")
+        env.run()
+        assert received == []
+
+    def test_crash_while_in_flight(self):
+        """A message in flight to a node that crashes is lost."""
+        env, network = make_net(min_latency=5.0, max_latency=5.0)
+        received = []
+        network.register(2, received.append)
+        network.send(1, 2, "x")
+        env.run(until=1)
+        network.set_down(2, True)
+        env.run()
+        assert received == []
+
+    def test_partition_blocks_both_directions(self):
+        env, network = make_net()
+        received = []
+        network.register(1, received.append)
+        network.register(2, received.append)
+        network.partition({1}, {2})
+        network.send(1, 2, "a")
+        network.send(2, 1, "b")
+        env.run()
+        assert received == []
+
+    def test_partition_only_affects_pairs(self):
+        env, network = make_net()
+        received = []
+        network.register(3, received.append)
+        network.partition({1}, {2})
+        network.send(1, 3, "ok")
+        env.run()
+        assert len(received) == 1
+
+    def test_heal_partition(self):
+        env, network = make_net()
+        received = []
+        network.register(2, received.append)
+        network.partition({1}, {2})
+        network.heal_partition({1}, {2})
+        network.send(1, 2, "x")
+        env.run()
+        assert len(received) == 1
+
+    def test_heal_all(self):
+        env, network = make_net()
+        network.partition({1, 2}, {3, 4})
+        network.heal_partition()
+        assert not network.is_partitioned(1, 3)
+
+    def test_is_partitioned_symmetric(self):
+        _env, network = make_net()
+        network.partition({1}, {2})
+        assert network.is_partitioned(1, 2)
+        assert network.is_partitioned(2, 1)

@@ -1,0 +1,198 @@
+"""Crash-recovery nodes and stable storage."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.sim.kernel import Environment, Interrupt
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.node import Node, StableStore
+
+
+def make_node(pid=1):
+    env = Environment()
+    network = Network(env, NetworkConfig())
+    return env, network, Node(env, network, pid)
+
+
+class TestStableStore:
+    def test_roundtrip(self):
+        store = StableStore()
+        store.store("k", [1, 2, 3])
+        assert store.load("k") == [1, 2, 3]
+
+    def test_default(self):
+        assert StableStore().load("missing", "fallback") == "fallback"
+
+    def test_deep_copy_on_store(self):
+        store = StableStore()
+        value = {"nested": [1]}
+        store.store("k", value)
+        value["nested"].append(2)
+        assert store.load("k") == {"nested": [1]}
+
+    def test_deep_copy_on_load(self):
+        store = StableStore()
+        store.store("k", [1])
+        loaded = store.load("k")
+        loaded.append(2)
+        assert store.load("k") == [1]
+
+    def test_contains_and_keys(self):
+        store = StableStore()
+        store.store("a", 1)
+        assert "a" in store
+        assert "b" not in store
+        assert store.keys() == ["a"]
+
+    def test_size_bytes_grows(self):
+        store = StableStore()
+        store.store("a", b"x" * 10)
+        small = store.size_bytes()
+        store.store("b", b"y" * 1000)
+        assert store.size_bytes() > small
+
+
+class TestNodeLifecycle:
+    def test_starts_up(self):
+        _env, _network, node = make_node()
+        assert node.is_up
+        assert node.crash_count == 0
+
+    def test_crash_and_recover(self):
+        _env, network, node = make_node()
+        node.crash()
+        assert not node.is_up
+        assert node.crash_count == 1
+        node.recover()
+        assert node.is_up
+
+    def test_crash_idempotent(self):
+        _env, _network, node = make_node()
+        node.crash()
+        node.crash()
+        assert node.crash_count == 1
+
+    def test_recover_when_up_is_noop(self):
+        _env, _network, node = make_node()
+        node.recover()
+        assert node.crash_count == 0
+
+    def test_stable_storage_survives_crash(self):
+        _env, _network, node = make_node()
+        node.stable.store("data", b"persisted")
+        node.crash()
+        node.recover()
+        assert node.stable.load("data") == b"persisted"
+
+    def test_recovery_hooks_run(self):
+        _env, _network, node = make_node()
+        calls = []
+        node.on_recovery(lambda: calls.append("hook"))
+        node.crash()
+        assert calls == []
+        node.recover()
+        assert calls == ["hook"]
+
+
+class TestNodeMessaging:
+    def test_handler_dispatch_by_type(self):
+        env, network, node = make_node(pid=1)
+        other = Node(env, network, 2)
+        seen = []
+        other.register_handler(str, lambda src, payload: seen.append((src, payload)))
+        other.register_handler(int, lambda src, payload: seen.append("int"))
+        node.send(2, "text")
+        env.run()
+        assert seen == [(1, "text")]
+
+    def test_down_node_ignores_messages(self):
+        env, network, node = make_node(pid=1)
+        other = Node(env, network, 2)
+        seen = []
+        other.register_handler(str, lambda src, payload: seen.append(payload))
+        other.crash()
+        node.send(2, "lost")
+        env.run()
+        assert seen == []
+
+    def test_down_node_cannot_send(self):
+        env, network, node = make_node(pid=1)
+        other = Node(env, network, 2)
+        seen = []
+        other.register_handler(str, lambda src, payload: seen.append(payload))
+        node.crash()
+        node.send(2, "x")
+        env.run()
+        assert seen == []
+
+    def test_unhandled_type_ignored(self):
+        env, network, node = make_node(pid=1)
+        other = Node(env, network, 2)
+        node.send(2, 3.14)  # no float handler registered
+        env.run()  # must not raise
+
+
+class TestProcessOwnership:
+    def test_spawn_runs(self):
+        env, _network, node = make_node()
+
+        def task():
+            yield env.timeout(1)
+            return "done"
+
+        process = node.spawn(task())
+        assert env.run_until_complete(process) == "done"
+
+    def test_crash_interrupts_owned_processes(self):
+        env, _network, node = make_node()
+        outcomes = []
+
+        def task():
+            try:
+                yield env.timeout(100)
+                outcomes.append("finished")
+            except Interrupt as interrupt:
+                outcomes.append(f"killed:{interrupt.cause}")
+
+        node.spawn(task())
+        env.run(until=2)
+        node.crash()
+        env.run()
+        assert outcomes == ["killed:crash"]
+
+    def test_crash_spares_finished_processes(self):
+        env, _network, node = make_node()
+
+        def quick():
+            yield env.timeout(1)
+            return "ok"
+
+        process = node.spawn(quick())
+        env.run()
+        node.crash()
+        assert process.value == "ok"
+
+    def test_spawn_on_down_node_rejected(self):
+        env, _network, node = make_node()
+        node.crash()
+
+        def task():
+            yield env.timeout(1)
+
+        with pytest.raises(StorageError):
+            node.spawn(task())
+
+    def test_recovery_does_not_revive_processes(self):
+        env, _network, node = make_node()
+        outcomes = []
+
+        def task():
+            yield env.timeout(100)
+            outcomes.append("finished")
+
+        node.spawn(task())
+        env.run(until=1)
+        node.crash()
+        node.recover()
+        env.run()
+        assert outcomes == []

@@ -1,0 +1,92 @@
+"""Message tracer."""
+
+import pytest
+
+from repro.sim.trace import MessageTracer
+from tests.conftest import make_cluster, stripe_of
+
+
+@pytest.fixture
+def traced_cluster():
+    cluster = make_cluster(m=2, n=4, block_size=16)
+    tracer = MessageTracer(cluster.network)
+    return cluster, tracer
+
+
+class TestTracing:
+    def test_records_protocol_messages(self, traced_cluster):
+        cluster, tracer = traced_cluster
+        cluster.register(0).write_stripe(stripe_of(2, 16, tag=1))
+        assert tracer.count("OrderReq") == 4
+        assert tracer.count("WriteReq") == 4
+        assert tracer.count("OrderReply") == 4
+        assert tracer.count("WriteReply") == 4
+
+    def test_entries_carry_context(self, traced_cluster):
+        cluster, tracer = traced_cluster
+        cluster.register(7).write_stripe(stripe_of(2, 16, tag=1))
+        entry = tracer.filter(payload_type="WriteReq")[0]
+        assert entry.register_id == 7
+        assert entry.src == 1
+        assert entry.size == 16
+
+    def test_filter_by_register(self, traced_cluster):
+        cluster, tracer = traced_cluster
+        cluster.register(0).write_stripe(stripe_of(2, 16, tag=1))
+        cluster.register(1).write_stripe(stripe_of(2, 16, tag=2))
+        only_zero = tracer.filter(register_id=0)
+        assert only_zero
+        assert all(entry.register_id == 0 for entry in only_zero)
+
+    def test_filter_by_endpoint(self, traced_cluster):
+        cluster, tracer = traced_cluster
+        cluster.register(0).write_stripe(stripe_of(2, 16, tag=1))
+        touching_3 = tracer.filter(endpoint=3)
+        assert touching_3
+        assert all(3 in (e.src, e.dst) for e in touching_3)
+
+    def test_custom_predicate(self, traced_cluster):
+        cluster, tracer = traced_cluster
+        cluster.register(0).write_stripe(stripe_of(2, 16, tag=1))
+        big = tracer.filter(predicate=lambda entry: entry.size > 0)
+        assert all(entry.size > 0 for entry in big)
+
+    def test_format(self, traced_cluster):
+        cluster, tracer = traced_cluster
+        cluster.register(0).write_stripe(stripe_of(2, 16, tag=1))
+        chart = tracer.format(limit=5)
+        assert "->" in chart
+        assert "Req" in chart or "Reply" in chart
+
+    def test_format_empty(self, traced_cluster):
+        _cluster, tracer = traced_cluster
+        assert tracer.format() == "(no traced messages)"
+
+    def test_clear(self, traced_cluster):
+        cluster, tracer = traced_cluster
+        cluster.register(0).write_stripe(stripe_of(2, 16, tag=1))
+        tracer.clear()
+        assert len(tracer.entries) == 0
+
+    def test_ring_buffer_bounded(self):
+        cluster = make_cluster(m=2, n=4, block_size=16)
+        tracer = MessageTracer(cluster.network, capacity=10)
+        cluster.register(0).write_stripe(stripe_of(2, 16, tag=1))
+        assert len(tracer.entries) == 10  # 16 sends, capped at 10
+
+    def test_uninstall(self, traced_cluster):
+        cluster, tracer = traced_cluster
+        tracer.uninstall()
+        cluster.register(0).write_stripe(stripe_of(2, 16, tag=1))
+        assert len(tracer.entries) == 0
+
+    def test_does_not_perturb_metrics(self):
+        plain = make_cluster(m=2, n=4, block_size=16, seed=3)
+        plain.register(0).write_stripe(stripe_of(2, 16, tag=1))
+        traced = make_cluster(m=2, n=4, block_size=16, seed=3)
+        MessageTracer(traced.network)
+        traced.register(0).write_stripe(stripe_of(2, 16, tag=1))
+        assert (
+            plain.metrics.total_messages == traced.metrics.total_messages
+        )
+        assert plain.env.now == traced.env.now

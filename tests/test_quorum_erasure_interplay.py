@@ -1,0 +1,92 @@
+"""The paper's central invariant, tested directly.
+
+Section 2.2: "With m-out-of-n erasure coding, it is necessary that a
+read and a write quorum intersect in at least m processes.  Otherwise,
+a read operation may not be able to construct the data written by a
+previous write operation."
+
+These property tests close the loop between the two substrates: for
+every legal (m, f) geometry, any write quorum's blocks restricted to
+any read quorum suffice to decode — and with one fewer process than
+Theorem 2 requires, a counterexample pair of quorums exists whose
+intersection cannot decode.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.erasure import make_code
+from repro.quorum import MajorityMQuorumSystem, mquorum_exists
+
+
+def make_stripe(m, size=8, seed=0):
+    return [bytes((seed + i * 13 + j) % 256 for j in range(size))
+            for i in range(m)]
+
+
+class TestQuorumErasureInterplay:
+    @settings(deadline=None, max_examples=40)
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=3),
+        st.randoms(use_true_random=False),
+    )
+    def test_any_read_quorum_decodes_any_write_quorum(self, m, f, rng):
+        """Write to a random quorum; decode from another random quorum
+        using only the blocks the write quorum stored."""
+        n = 2 * f + m
+        system = MajorityMQuorumSystem(n=n, m=m, f=f)
+        code = make_code(m, n)
+        stripe = make_stripe(m, seed=rng.randrange(256))
+        encoded = code.encode(stripe)
+
+        universe = list(system.universe)
+        write_quorum = set(rng.sample(universe, system.quorum_size))
+        read_quorum = set(rng.sample(universe, system.quorum_size))
+        stored = {i: encoded[i - 1] for i in write_quorum}
+        visible = {i: block for i, block in stored.items() if i in read_quorum}
+
+        assert len(visible) >= m  # the intersection property
+        assert code.decode(visible) == stripe
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=3),
+    )
+    def test_below_theorem2_bound_a_read_can_fail(self, m, f):
+        """With n = 2f + m − 1, the canonical quorums (size n − f) can
+        intersect in only m − 1 processes: too few blocks to decode."""
+        n = 2 * f + m - 1
+        assert not mquorum_exists(n, m, f)
+        quorum_size = n - f
+        # Two maximally disjoint quorums.
+        write_quorum = set(range(1, quorum_size + 1))
+        read_quorum = set(range(n - quorum_size + 1, n + 1))
+        intersection = write_quorum & read_quorum
+        assert len(intersection) == m - 1  # decoding is impossible
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=1, max_value=3),
+        st.randoms(use_true_random=False),
+    )
+    def test_partial_write_below_m_is_unrecoverable_from_heads(self, m, f, rng):
+        """Fewer than m new blocks stored: the new value cannot be
+        decoded no matter which quorum reads — the reason rollback (and
+        thus the versioned log) must exist."""
+        n = 2 * f + m
+        code = make_code(m, n)
+        stripe = make_stripe(m, seed=3)
+        encoded = code.encode(stripe)
+        stored_count = rng.randrange(1, m)  # partial: < m blocks landed
+        stored = dict(
+            (i, encoded[i - 1])
+            for i in rng.sample(range(1, n + 1), stored_count)
+        )
+        from repro.errors import CodingError
+
+        with pytest.raises(CodingError):
+            code.decode(stored)

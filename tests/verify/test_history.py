@@ -1,0 +1,105 @@
+"""History recorder."""
+
+import pytest
+
+from repro.types import ABORT, OpKind, OpStatus
+from repro.verify.history import HistoryRecorder, OpRecord
+from tests.conftest import make_cluster, stripe_of
+
+
+class TestRecording:
+    def test_tracks_successful_write_and_read(self):
+        cluster = make_cluster(m=2, n=4, block_size=16)
+        recorder = HistoryRecorder(cluster.env)
+        coordinator = cluster.coordinators[1]
+        stripe = stripe_of(2, 16, tag=1)
+        wp = cluster.nodes[1].spawn(coordinator.write_stripe(0, stripe))
+        write_record = recorder.track(wp, OpKind.WRITE_STRIPE, value=stripe)
+        cluster.env.run()
+        assert write_record.status is OpStatus.OK
+        assert write_record.t_resp > write_record.t_inv
+
+        rp = cluster.nodes[2].spawn(cluster.coordinators[2].read_stripe(0))
+        read_record = recorder.track(rp, OpKind.READ_STRIPE)
+        cluster.env.run()
+        assert read_record.status is OpStatus.OK
+        assert read_record.value == stripe
+
+    def test_crash_marks_record(self):
+        cluster = make_cluster(m=2, n=4, block_size=16)
+        recorder = HistoryRecorder(cluster.env)
+        coordinator = cluster.coordinators[1]
+        process = cluster.nodes[1].spawn(
+            coordinator.write_stripe(0, stripe_of(2, 16, tag=1))
+        )
+        record = recorder.track(process, OpKind.WRITE_STRIPE,
+                                value=stripe_of(2, 16, tag=1))
+        cluster.env.run(until=cluster.env.now + 1)
+        cluster.crash(1)
+        cluster.env.run()
+        assert record.status is OpStatus.CRASHED
+
+    def test_close_stamps_pending(self):
+        cluster = make_cluster(m=2, n=4, block_size=16)
+        recorder = HistoryRecorder(cluster.env)
+        cluster.crash(3)
+        cluster.crash(4)  # no quorum: op will hang
+        coordinator = cluster.coordinators[1]
+        process = cluster.nodes[1].spawn(
+            coordinator.write_stripe(0, stripe_of(2, 16, tag=1))
+        )
+        record = recorder.track(process, OpKind.WRITE_STRIPE,
+                                value=stripe_of(2, 16, tag=1))
+        cluster.env.run(until=cluster.env.now + 50)
+        recorder.close()
+        assert record.status is OpStatus.PENDING
+
+    def test_summary(self):
+        cluster = make_cluster(m=2, n=4, block_size=16)
+        recorder = HistoryRecorder(cluster.env)
+        coordinator = cluster.coordinators[1]
+        process = cluster.nodes[1].spawn(
+            coordinator.write_stripe(0, stripe_of(2, 16, tag=1))
+        )
+        recorder.track(process, OpKind.WRITE_STRIPE, value=stripe_of(2, 16, 1))
+        cluster.env.run()
+        assert recorder.summary() == {"ok": 1}
+
+
+class TestProjection:
+    def make_record(self, kind, value, block_index=None, op_id=1):
+        return OpRecord(
+            op_id=op_id, kind=kind, block_index=block_index, value=value,
+            t_inv=0.0, t_resp=1.0, status=OpStatus.OK,
+        )
+
+    def test_stripe_write_projects_to_each_block(self):
+        record = self.make_record(OpKind.WRITE_STRIPE, [b"a", b"b", b"c"])
+        recorder = HistoryRecorder.__new__(HistoryRecorder)
+        recorder.records = [record]
+        h1 = recorder.per_block_history(1)
+        h3 = recorder.per_block_history(3)
+        assert h1[0].value == b"a"
+        assert h1[0].kind is OpKind.WRITE_BLOCK
+        assert h3[0].value == b"c"
+
+    def test_block_ops_filtered_by_index(self):
+        record = self.make_record(OpKind.WRITE_BLOCK, b"x", block_index=2)
+        recorder = HistoryRecorder.__new__(HistoryRecorder)
+        recorder.records = [record]
+        assert recorder.per_block_history(2) == [record]
+        assert recorder.per_block_history(1) == []
+
+    def test_nil_stripe_projects_to_nil_blocks(self):
+        record = self.make_record(OpKind.READ_STRIPE, None)
+        recorder = HistoryRecorder.__new__(HistoryRecorder)
+        recorder.records = [record]
+        assert recorder.per_block_history(1)[0].value is None
+
+    def test_block_value_helper(self):
+        record = self.make_record(OpKind.WRITE_STRIPE, [b"a", b"b"])
+        assert record.block_value(1) == b"a"
+        assert record.block_value(2) == b"b"
+        block_record = self.make_record(OpKind.READ_BLOCK, b"z", block_index=2)
+        assert block_record.block_value(2) == b"z"
+        assert block_record.block_value(1) is None

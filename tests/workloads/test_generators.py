@@ -1,0 +1,145 @@
+"""Workload generators."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.generators import (
+    ConflictSchedule,
+    SequentialPattern,
+    UniformPattern,
+    WorkloadConfig,
+    WorkloadGenerator,
+    ZipfPattern,
+)
+
+
+class TestPatterns:
+    def test_uniform_in_range(self):
+        pattern = UniformPattern()
+        rng = random.Random(0)
+        assert all(0 <= pattern.next_block(rng, 10) < 10 for _ in range(200))
+
+    def test_uniform_covers_space(self):
+        pattern = UniformPattern()
+        rng = random.Random(1)
+        seen = {pattern.next_block(rng, 8) for _ in range(400)}
+        assert seen == set(range(8))
+
+    def test_zipf_is_skewed(self):
+        pattern = ZipfPattern(exponent=1.2, seed=0)
+        rng = random.Random(2)
+        counts = Counter(pattern.next_block(rng, 50) for _ in range(3000))
+        top_share = sum(c for _b, c in counts.most_common(5)) / 3000
+        assert top_share > 0.35
+
+    def test_zipf_validation(self):
+        with pytest.raises(ConfigurationError):
+            ZipfPattern(exponent=0)
+
+    def test_sequential_wraps(self):
+        pattern = SequentialPattern()
+        rng = random.Random(0)
+        values = [pattern.next_block(rng, 3) for _ in range(7)]
+        assert values == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_sequential_start(self):
+        pattern = SequentialPattern(start=5)
+        assert pattern.next_block(random.Random(0), 10) == 5
+
+
+class TestWorkloadGenerator:
+    def test_read_fraction_respected(self):
+        config = WorkloadConfig(num_blocks=100, read_fraction=0.8, seed=1)
+        ops = WorkloadGenerator(config).ops(2000)
+        reads = sum(1 for op, _b, _t in ops if op == "read")
+        assert 0.75 < reads / 2000 < 0.85
+
+    def test_write_tags_unique(self):
+        config = WorkloadConfig(num_blocks=10, read_fraction=0.3, seed=2)
+        ops = WorkloadGenerator(config).ops(500)
+        tags = [tag for op, _b, tag in ops if op == "write"]
+        assert len(tags) == len(set(tags))
+
+    def test_reads_have_no_tag(self):
+        config = WorkloadConfig(num_blocks=10, read_fraction=1.0, seed=0)
+        ops = WorkloadGenerator(config).ops(20)
+        assert all(tag is None for _op, _b, tag in ops)
+
+    def test_deterministic_by_seed(self):
+        config = WorkloadConfig(num_blocks=10, seed=7)
+        a = WorkloadGenerator(config).ops(50)
+        b = WorkloadGenerator(WorkloadConfig(num_blocks=10, seed=7)).ops(50)
+        assert a == b
+
+    def test_iterable(self):
+        config = WorkloadConfig(num_blocks=10, seed=0)
+        generator = iter(WorkloadGenerator(config))
+        assert len([next(generator) for _ in range(5)]) == 5
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(num_blocks=0)
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(num_blocks=1, read_fraction=1.5)
+
+
+class TestConflictSchedule:
+    def test_full_conflict_targets_shared_register(self):
+        schedule = ConflictSchedule(
+            num_registers=10, writers=3, conflict_probability=1.0, seed=0
+        )
+        for round_ops in schedule.rounds(20):
+            registers = {register for register, _offset in round_ops}
+            assert len(registers) == 1
+            assert len(round_ops) == 3
+
+    def test_zero_conflict_targets_distinct_registers(self):
+        schedule = ConflictSchedule(
+            num_registers=10, writers=3, conflict_probability=0.0, seed=0
+        )
+        for round_ops in schedule.rounds(20):
+            registers = [register for register, _offset in round_ops]
+            assert len(set(registers)) == len(registers)
+
+    def test_offsets_within_spread(self):
+        schedule = ConflictSchedule(num_registers=5, spread=2.5, seed=1)
+        for round_ops in schedule.rounds(10):
+            assert all(0 <= offset <= 2.5 for _register, offset in round_ops)
+
+
+class TestHotspotPattern:
+    def test_concentrates_on_hot_region(self):
+        from repro.workloads import HotspotPattern
+
+        pattern = HotspotPattern(hot_fraction=0.1, hot_probability=0.9)
+        rng = random.Random(0)
+        hot_hits = sum(
+            1 for _ in range(2000) if pattern.next_block(rng, 100) < 10
+        )
+        assert 0.85 < hot_hits / 2000 < 0.95
+
+    def test_cold_region_still_reachable(self):
+        from repro.workloads import HotspotPattern
+
+        pattern = HotspotPattern(hot_fraction=0.2, hot_probability=0.5)
+        rng = random.Random(1)
+        seen = {pattern.next_block(rng, 10) for _ in range(500)}
+        assert seen == set(range(10))
+
+    def test_degenerate_all_hot(self):
+        from repro.workloads import HotspotPattern
+
+        pattern = HotspotPattern(hot_fraction=1.0, hot_probability=0.0)
+        rng = random.Random(2)
+        assert all(0 <= pattern.next_block(rng, 5) < 5 for _ in range(100))
+
+    def test_validation(self):
+        from repro.workloads import HotspotPattern
+
+        with pytest.raises(ConfigurationError):
+            HotspotPattern(hot_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            HotspotPattern(hot_probability=1.5)

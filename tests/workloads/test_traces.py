@@ -1,0 +1,76 @@
+"""Trace synthesis and replay."""
+
+import pytest
+
+from repro import LogicalVolume
+from repro.errors import ConfigurationError
+from repro.workloads.traces import TraceOp, TraceReplayer, synthesize_trace
+from tests.conftest import make_cluster
+
+
+class TestSynthesis:
+    def test_length_and_monotonic_times(self):
+        trace = synthesize_trace(50, num_blocks=20, seed=1)
+        assert len(trace) == 50
+        times = [op.time for op in trace]
+        assert times == sorted(times)
+
+    def test_blocks_in_range(self):
+        trace = synthesize_trace(100, num_blocks=10, seed=2)
+        assert all(0 <= op.block < 10 for op in trace)
+
+    def test_read_fraction(self):
+        trace = synthesize_trace(500, 10, read_fraction=0.9, seed=3)
+        reads = sum(1 for op in trace if op.op == "read")
+        assert reads > 400
+
+    def test_write_tags_unique(self):
+        trace = synthesize_trace(200, 10, read_fraction=0.0, seed=4)
+        tags = [op.tag for op in trace]
+        assert len(set(tags)) == len(tags)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            synthesize_trace(-1, 10)
+        with pytest.raises(ConfigurationError):
+            TraceOp(time=0.0, op="erase", block=0)
+
+
+class TestReplay:
+    def test_replay_statistics(self):
+        cluster = make_cluster(m=2, n=4, block_size=16)
+        volume = LogicalVolume(cluster, num_stripes=5)
+        trace = synthesize_trace(30, volume.num_blocks, seed=5)
+        stats = TraceReplayer(volume).replay(trace)
+        assert stats.operations == 30
+        assert stats.reads + stats.writes == 30
+        assert stats.duration > 0
+        assert stats.throughput > 0
+
+    def test_sequential_replay_never_aborts(self):
+        """No concurrency => no conflicts => zero aborts (the paper's
+        trace observation)."""
+        cluster = make_cluster(m=2, n=4, block_size=16)
+        volume = LogicalVolume(cluster, num_stripes=5)
+        trace = synthesize_trace(40, volume.num_blocks, seed=6)
+        stats = TraceReplayer(volume).replay(trace)
+        assert stats.aborts == 0
+        assert stats.abort_rate == 0.0
+
+    def test_replay_data_integrity(self):
+        cluster = make_cluster(m=2, n=4, block_size=16)
+        volume = LogicalVolume(cluster, num_stripes=5)
+        replayer = TraceReplayer(volume)
+        trace = [
+            TraceOp(time=1.0, op="write", block=3, tag=42),
+            TraceOp(time=2.0, op="read", block=3),
+        ]
+        replayer.replay(trace)
+        assert volume.read(3) == replayer._payload(trace[0])
+
+    def test_empty_trace(self):
+        cluster = make_cluster(m=2, n=4, block_size=16)
+        volume = LogicalVolume(cluster, num_stripes=2)
+        stats = TraceReplayer(volume).replay([])
+        assert stats.operations == 0
+        assert stats.throughput == 0
