@@ -1,0 +1,60 @@
+"""Pipelined session throughput vs pipeline depth and crash rate.
+
+Not a paper table, but the property that justifies the session engine:
+keeping many register operations in flight recovers the concurrency
+the bricks already have (each stripe is an independent register), so
+throughput should scale near-linearly with ``max_inflight`` until the
+workload runs out of independent stripes.  A second sweep shows
+graceful degradation under failure churn, and a scripted
+coordinator-crash run shows failover absorbing a brick death with zero
+client-visible errors.
+"""
+
+from repro.analysis.pipeline import (
+    DEFAULT_INFLIGHTS,
+    crash_failover_run,
+    render_report,
+    sweep_crash_rate,
+    sweep_inflight,
+)
+
+from .conftest import write_artifact
+
+
+def run_all():
+    return {
+        "inflight": sweep_inflight(DEFAULT_INFLIGHTS),
+        "crash": sweep_crash_rate((0.0, 0.05, 0.15)),
+        "failover": crash_failover_run(),
+    }
+
+
+def test_bench_pipeline(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    inflight = results["inflight"]
+    crash = results["crash"]
+    failover = results["failover"]
+    write_artifact(
+        "pipeline_throughput", render_report(inflight, crash, failover) + "\n"
+    )
+
+    by_depth = {r.max_inflight: r for r in inflight}
+    # Pipelining pays: depth 16 clearly beats depth 1 on the same workload.
+    assert by_depth[16].throughput > by_depth[1].throughput
+    # Monotone through the useful range (64 may plateau on stripe count).
+    assert by_depth[4].throughput > by_depth[1].throughput
+    assert by_depth[16].throughput >= by_depth[4].throughput
+    # Clean runs complete every op with no client-visible errors.
+    for r in inflight:
+        assert r.errors == 0, f"depth {r.max_inflight}: {r.errors} errors"
+        assert r.ops > 0
+    assert by_depth[1].peak_inflight == 1
+    assert by_depth[16].peak_inflight > by_depth[1].peak_inflight
+
+    # Mild churn is absorbed by retry/failover with zero errors.
+    mild = next(r for r in crash if r.crash_probability == 0.05)
+    assert mild.errors == 0
+    # A scripted coordinator crash mid-batch never surfaces to the client.
+    assert failover.errors == 0
+    assert failover.failovers > 0
+    assert failover.ops > 0

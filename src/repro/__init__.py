@@ -12,13 +12,16 @@ Figures 2-3 and Table 1.
 
 Quickstart::
 
-    from repro import ClusterConfig, FabCluster
+    from repro import open_volume
 
-    cluster = FabCluster(ClusterConfig(m=3, n=5, block_size=512))
-    register = cluster.register(0)
-    register.write_stripe([b"x" * 512] * 3)
-    cluster.crash(4)                       # a brick fails...
-    assert register.read_stripe()[0] == b"x" * 512   # ...data survives
+    volume = open_volume(m=3, n=5, blocks=48, block_size=512)
+    volume.write(0, b"x" * 512)
+    volume.cluster.crash(4)                 # a brick fails...
+    assert volume.read(0) == b"x" * 512     # ...data survives
+
+(:func:`open_cluster` / :func:`open_volume` live in :mod:`repro.api`;
+the layered ``ClusterConfig`` → ``FabCluster`` → ``LogicalVolume``
+construction remains available for fine-grained control.)
 
 Subpackages:
 
@@ -33,6 +36,7 @@ Subpackages:
 * :mod:`repro.workloads` — synthetic workload generators.
 """
 
+from .api import open_cluster, open_volume
 from .core import (
     ClusterConfig,
     Coordinator,
@@ -41,7 +45,10 @@ from .core import (
     Replica,
     RetryingClient,
     RetryPolicy,
+    RouteOptions,
+    SessionOp,
     StorageRegister,
+    VolumeSession,
 )
 from .erasure import ErasureCode, make_code
 from .quorum import MajorityMQuorumSystem, mquorum_exists
@@ -51,12 +58,17 @@ from .types import ABORT, NIL, Block, StripeConfig
 __version__ = "1.0.0"
 
 __all__ = [
+    "open_cluster",
+    "open_volume",
     "FabCluster",
     "ClusterConfig",
     "StorageRegister",
     "LogicalVolume",
+    "VolumeSession",
+    "SessionOp",
     "RetryingClient",
     "RetryPolicy",
+    "RouteOptions",
     "Coordinator",
     "Replica",
     "ErasureCode",

@@ -7,6 +7,7 @@ Regenerates the paper's artifacts without going through pytest::
     python -m repro.cli table1 --n 5 --m 3     # analytic + measured costs
     python -m repro.cli demo                   # the quickstart scenario
     python -m repro.cli scrub --stripes 8      # scrub/rebuild walkthrough
+    python -m repro.cli pipeline               # pipelined session throughput
 
 Each subcommand prints the same rows the corresponding benchmark writes
 to ``benchmarks/out/``.
@@ -150,6 +151,27 @@ def _scrub(args: argparse.Namespace) -> int:
     return 0
 
 
+def _pipeline(args: argparse.Namespace) -> int:
+    from .analysis.pipeline import (
+        crash_failover_run,
+        render_report,
+        sweep_crash_rate,
+        sweep_inflight,
+    )
+
+    report = render_report(
+        sweep_inflight(tuple(args.inflights), num_ops=args.ops),
+        sweep_crash_rate(num_ops=args.ops),
+        crash_failover_run(),
+    )
+    print(report)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report + "\n")
+        print(f"\nwritten to {args.out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -184,6 +206,19 @@ def build_parser() -> argparse.ArgumentParser:
     scrub = subparsers.add_parser("scrub", help="scrub/rebuild walkthrough")
     scrub.add_argument("--stripes", type=int, default=6)
     scrub.set_defaults(func=_scrub)
+
+    pipeline = subparsers.add_parser(
+        "pipeline", help="pipelined session throughput sweeps"
+    )
+    pipeline.add_argument(
+        "--inflights", type=int, nargs="+", default=[1, 4, 16, 64],
+    )
+    pipeline.add_argument("--ops", type=int, default=120)
+    pipeline.add_argument(
+        "--out", type=str, default=None,
+        help="also write the report to this file",
+    )
+    pipeline.set_defaults(func=_pipeline)
 
     return parser
 

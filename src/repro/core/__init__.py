@@ -16,6 +16,8 @@ Module map (paper section → module):
 * Section 5.1 garbage collection   → :mod:`repro.core.gc`
 * FAB assembly                     → :mod:`repro.core.cluster`
 * logical volumes                  → :mod:`repro.core.volume`
+* routing / multipathing           → :mod:`repro.core.routing`
+* pipelined session engine         → :mod:`repro.core.session`
 """
 
 from .client import RetryingClient, RetryPolicy
@@ -24,6 +26,8 @@ from .coordinator import Coordinator
 from .log import LogEntry, ReplicaLog
 from .register import StorageRegister
 from .replica import Replica
+from .routing import RouteOptions
+from .session import SessionOp, VolumeSession
 from .volume import LogicalVolume
 
 __all__ = [
@@ -31,7 +35,10 @@ __all__ = [
     "ClusterConfig",
     "RetryingClient",
     "RetryPolicy",
+    "RouteOptions",
+    "SessionOp",
     "StorageRegister",
+    "VolumeSession",
     "Coordinator",
     "Replica",
     "ReplicaLog",

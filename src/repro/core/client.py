@@ -28,7 +28,12 @@ __all__ = ["RetryPolicy", "RetryingClient"]
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Bounded retry with linear backoff.
+    """Bounded retry with exponential backoff, jitter, and deadlines.
+
+    Shared by :class:`RetryingClient` (synchronous, register-level) and
+    :class:`~repro.core.session.VolumeSession` (pipelined, volume-level).
+    The session additionally honours the timeout/failover knobs; the
+    plain client uses only ``attempts``/``backoff``/``backoff_growth``.
 
     Attributes:
         attempts: total tries (first attempt included); must be >= 1.
@@ -37,11 +42,29 @@ class RetryPolicy:
             while even a small stagger lets one of them win.
         backoff_growth: multiplier applied to the backoff after each
             failed try (1.0 = constant).
+        jitter: fraction of the current backoff added as deterministic
+            jitter (drawn from the session's seeded RNG): the actual
+            wait is uniform in ``[backoff, backoff * (1 + jitter)]``.
+            Zero keeps the legacy fixed-backoff behaviour.
+        deadline: cap on one operation's total simulated time across
+            every retry and failover; exceeding it finishes the
+            operation with status ``"timeout"``.  ``None`` = no cap.
+        attempt_timeout: cap on a *single* attempt; an attempt that
+            exceeds it is abandoned and the operation fails over to the
+            next live brick (the abandoned attempt is harmless: either
+            it never took effect, or it wrote the same value the retry
+            writes).  ``None`` = wait for the attempt forever.
+        max_failovers: bound on coordinator rotations per operation
+            (crash- or timeout-driven) before giving up.
     """
 
     attempts: int = 3
     backoff: float = 5.0
     backoff_growth: float = 2.0
+    jitter: float = 0.0
+    deadline: Optional[float] = None
+    attempt_timeout: Optional[float] = None
+    max_failovers: int = 16
 
     def __post_init__(self) -> None:
         if self.attempts < 1:
@@ -50,6 +73,14 @@ class RetryPolicy:
             raise ConfigurationError(
                 "need backoff >= 0 and backoff_growth >= 1"
             )
+        if self.jitter < 0:
+            raise ConfigurationError(f"jitter must be >= 0, got {self.jitter}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ConfigurationError("deadline must be positive when set")
+        if self.attempt_timeout is not None and self.attempt_timeout <= 0:
+            raise ConfigurationError("attempt_timeout must be positive when set")
+        if self.max_failovers < 0:
+            raise ConfigurationError("max_failovers must be >= 0")
 
 
 class RetryingClient:

@@ -128,14 +128,25 @@ class FabCluster:
         return self.coordinators[pid]
 
     def register(
-        self, register_id: int, coordinator_pid: ProcessId = 1
+        self,
+        register_id: int,
+        coordinator_pid: Optional[ProcessId] = None,
+        route=None,
     ) -> StorageRegister:
         """A register handle for stripe ``register_id``.
 
         Any brick can coordinate; pass different ``coordinator_pid``
-        values to exercise multi-controller access to the same stripe.
+        values (or ``route=RouteOptions(coordinator=...)``) to exercise
+        multi-controller access to the same stripe.  Defaults to
+        brick 1.
         """
-        return StorageRegister(self.coordinators[coordinator_pid], register_id)
+        if route is not None and route.coordinator is not None:
+            pid = route.coordinator
+        elif coordinator_pid is not None:
+            pid = coordinator_pid
+        else:
+            pid = 1
+        return StorageRegister(self.coordinators[pid], register_id)
 
     # -- convenience ----------------------------------------------------------
 

@@ -239,6 +239,7 @@ class QuorumRpc:
                 return
             if not self.node.is_up:
                 return
+            self.node.metrics.count_retransmission()
             transmit()
             timer = self.env.timeout(self.config.retransmit_interval)
             timer._add_callback(lambda _t: retransmit_loop())

@@ -1,0 +1,90 @@
+"""Operation routing: which brick coordinates, and what happens if it dies.
+
+FAB is fully decentralized — any brick can coordinate any operation
+(paper Section 1.1), and a multipathed client whose coordinator crashes
+simply reissues the request through another brick.  Historically every
+volume operation took an ad-hoc ``coordinator_pid=`` keyword; the
+:class:`RouteOptions` dataclass unifies that into a single ``route=``
+parameter carrying both the pinned coordinator (if any) and whether
+automatic failover is allowed.
+
+The legacy ``coordinator_pid=`` keywords still work but emit
+:class:`DeprecationWarning` via :func:`resolve_route`.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..errors import ConfigurationError
+from ..types import ProcessId
+
+__all__ = ["RouteOptions", "DEFAULT_ROUTE", "resolve_route"]
+
+
+@dataclass(frozen=True)
+class RouteOptions:
+    """How one operation (or a whole volume/session) picks coordinators.
+
+    Attributes:
+        coordinator: preferred coordinating brick, or ``None`` to let
+            the caller spread load (volumes fall back to their default
+            brick; sessions rotate round-robin over live bricks).
+        failover: reissue through another live brick when the
+            coordinator crashes mid-operation (or an attempt times
+            out).  With ``False`` a crash surfaces as
+            :class:`~repro.errors.StorageError` instead — useful for
+            experiments that want to observe the raw partial operation.
+    """
+
+    coordinator: Optional[ProcessId] = None
+    failover: bool = True
+
+    def pinned(self) -> bool:
+        """True when a specific coordinator is requested."""
+        return self.coordinator is not None
+
+
+#: The default route: no pinned coordinator, failover enabled.
+DEFAULT_ROUTE = RouteOptions()
+
+
+def resolve_route(
+    route: Union[RouteOptions, ProcessId, None] = None,
+    coordinator_pid: Optional[ProcessId] = None,
+    default: Optional[RouteOptions] = None,
+    stacklevel: int = 3,
+) -> RouteOptions:
+    """Normalize the (route, legacy coordinator_pid) pair to RouteOptions.
+
+    Accepts, in priority order:
+
+    * ``route=RouteOptions(...)`` — the modern form, returned as-is;
+    * ``route=<int>`` — shorthand for a pinned coordinator;
+    * ``coordinator_pid=<int>`` — the deprecated keyword; converted to a
+      pinned route and flagged with a :class:`DeprecationWarning`;
+    * neither — ``default`` (or :data:`DEFAULT_ROUTE`).
+    """
+    if coordinator_pid is not None:
+        if route is not None:
+            raise ConfigurationError(
+                "pass either route= or coordinator_pid=, not both"
+            )
+        warnings.warn(
+            "coordinator_pid= is deprecated; use "
+            "route=RouteOptions(coordinator=...) instead",
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
+        return RouteOptions(coordinator=coordinator_pid)
+    if route is None:
+        return default if default is not None else DEFAULT_ROUTE
+    if isinstance(route, RouteOptions):
+        return route
+    if isinstance(route, int):
+        return RouteOptions(coordinator=route)
+    raise ConfigurationError(
+        f"route must be RouteOptions, a process id, or None; got {route!r}"
+    )

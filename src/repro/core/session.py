@@ -1,0 +1,597 @@
+"""Pipelined volume I/O with retry and coordinator failover.
+
+The paper's cost model (Table 1) is per-operation, but FAB itself is a
+throughput system: clients keep many block operations in flight at once
+and any brick can coordinate any of them.  :class:`VolumeSession` is
+that client — a pipelined I/O engine over one
+:class:`~repro.core.volume.LogicalVolume` which
+
+* keeps up to ``max_inflight`` operations running as simultaneous
+  simulation processes (kernel ``AnyOf`` drives the completion pump);
+* coalesces the block writes of one ``submit_write_range`` call that
+  land in the same stripe into a single ``write-stripe`` (full stripe)
+  or atomic ``write-blocks`` (partial stripe) operation — the paper's
+  large-write fast path, applied automatically;
+* wraps every operation in a :class:`~repro.core.client.RetryPolicy`:
+  aborts (the paper's ⊥, always safe to retry with a fresh timestamp —
+  Section 4) are retried with exponential backoff and deterministic
+  jitter, a crashed or timed-out coordinator triggers failover to the
+  next live brick, and an optional per-op deadline bounds the total
+  wait;
+* reports per-session concurrency/retry/abort/failover counters into
+  :class:`~repro.sim.monitor.SessionStats`.
+
+Operations are **submitted** (returning a :class:`SessionOp` future)
+and run when the simulation advances; :meth:`VolumeSession.drain` runs
+the event loop until every submitted operation has finished.  Several
+sessions may be live on one cluster — draining any of them advances
+them all, which is how multi-client pipelined histories are produced.
+
+Typical use::
+
+    volume = repro.api.open_volume(m=3, n=5, blocks=48)
+    with volume.session(max_inflight=16) as session:
+        for block in range(48):
+            session.submit_write(block, payload(block))
+    # drained on exit; session.stats has retries/failovers/peak_inflight
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError, StorageError
+from ..sim.kernel import Event, Interrupt, Process
+from ..sim.monitor import SessionStats
+from ..types import ABORT, Block, OpKind, OpStatus, ProcessId
+from ..verify.history import OpRecord
+from .client import RetryPolicy
+from .routing import RouteOptions, resolve_route
+
+__all__ = ["SessionOp", "VolumeSession", "DEFAULT_SESSION_RETRY"]
+
+#: The session default: persistent enough to ride out abort storms and
+#: brief quorum loss, with jitter so colliding pipelines de-synchronize.
+DEFAULT_SESSION_RETRY = RetryPolicy(
+    attempts=10, backoff=2.0, backoff_growth=1.5, jitter=0.5
+)
+
+
+class SessionOp:
+    """One submitted operation: a future resolved when the op finishes.
+
+    Attributes:
+        kind: ``"read-block" | "read-blocks" | "write-block" |
+            "write-blocks" | "write-stripe"`` (coalescing chooses the
+            widest applicable kind).
+        register_id: stripe register the operation addresses.
+        blocks: logical block numbers covered, in submission order.
+        units: matching 1-based in-stripe unit indices.
+        payload: data being written (block, tuple of blocks, or None).
+        status: ``"pending"`` then one of ``"ok" | "aborted" |
+            "timeout" | "crashed" | "failed"``.
+        value: client-visible result (bytes/list for reads, ``"OK"``
+            for writes, :data:`~repro.types.ABORT` on exhausted
+            retries/deadline).
+        attempts / retries / failovers: per-op retry accounting.
+        submitted_at / finished_at: simulated invocation/response times.
+        coordinator: brick that served the final attempt.
+    """
+
+    __slots__ = (
+        "kind", "register_id", "blocks", "units", "payload", "status",
+        "value", "error", "attempts", "retries", "failovers",
+        "submitted_at", "finished_at", "coordinator", "event",
+    )
+
+    def __init__(
+        self,
+        kind: str,
+        register_id: int,
+        blocks: Tuple[int, ...],
+        units: Tuple[int, ...],
+        payload,
+        event: Event,
+        submitted_at: float,
+    ) -> None:
+        self.kind = kind
+        self.register_id = register_id
+        self.blocks = blocks
+        self.units = units
+        self.payload = payload
+        self.event = event
+        self.submitted_at = submitted_at
+        self.status = "pending"
+        self.value = None
+        self.error: Optional[BaseException] = None
+        self.attempts = 0
+        self.retries = 0
+        self.failovers = 0
+        self.finished_at: Optional[float] = None
+        self.coordinator: Optional[ProcessId] = None
+
+    @property
+    def done(self) -> bool:
+        """True once the operation has a terminal status."""
+        return self.status != "pending"
+
+    @property
+    def ok(self) -> bool:
+        """True if the operation completed with a usable value."""
+        return self.status == "ok"
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind.startswith("write")
+
+    @property
+    def result(self):
+        """The client-visible outcome.
+
+        Reads return bytes (single block) or a list of bytes; writes
+        return ``"OK"``.  Exhausted retries or a missed deadline return
+        :data:`~repro.types.ABORT`.  A hard failure (coordinator crash
+        with failover disabled, or an internal error) raises.
+        """
+        if not self.done:
+            raise StorageError(
+                f"operation {self.kind}@r{self.register_id} still pending; "
+                "drain() the session first"
+            )
+        if self.status in ("crashed", "failed"):
+            if isinstance(self.error, BaseException):
+                raise StorageError(
+                    f"{self.kind}@r{self.register_id} failed: {self.error!r}"
+                ) from self.error
+            raise StorageError(f"{self.kind}@r{self.register_id} failed")
+        return self.value
+
+    def __repr__(self) -> str:
+        return (
+            f"SessionOp({self.kind}, register={self.register_id}, "
+            f"blocks={list(self.blocks)}, status={self.status})"
+        )
+
+
+class VolumeSession:
+    """A pipelined, retrying, failing-over client of one logical volume.
+
+    Args:
+        volume: the :class:`~repro.core.volume.LogicalVolume` to drive.
+        max_inflight: operations kept running concurrently (>= 1).
+        retry: retry/backoff/deadline policy; defaults to
+            :data:`DEFAULT_SESSION_RETRY`.
+        route: coordinator routing.  With no pinned coordinator the
+            session rotates round-robin over live bricks (spreading
+            coordination load, as the paper's decentralized design
+            intends); a pinned coordinator is preferred while alive.
+        seed: jitter RNG seed; defaults to a value derived from the
+            cluster seed, so identically-seeded runs are bit-identical.
+    """
+
+    def __init__(
+        self,
+        volume,
+        max_inflight: int = 8,
+        retry: Optional[RetryPolicy] = None,
+        route: Optional[RouteOptions] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        if max_inflight < 1:
+            raise ConfigurationError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        self.volume = volume
+        self.cluster = volume.cluster
+        self.env = self.cluster.env
+        self.max_inflight = max_inflight
+        self.retry = retry or DEFAULT_SESSION_RETRY
+        self.route = resolve_route(route, default=RouteOptions())
+        if seed is None:
+            seed = (self.cluster.config.seed * 2654435761 + 0x5E5510) % 2**31
+        self._rng = random.Random(seed)
+        self.stats: SessionStats = self.cluster.metrics.begin_session(
+            now=self.env.now
+        )
+        self.ops: List[SessionOp] = []
+        self._queue: deque = deque()
+        self._inflight: Dict[Process, SessionOp] = {}
+        self._busy_registers: set = set()
+        self._pump: Optional[Process] = None
+        self._rr = 0
+
+    # -- submission ----------------------------------------------------------
+
+    def submit_read(self, logical_block: int) -> SessionOp:
+        """Queue a one-block read; returns its :class:`SessionOp` future."""
+        register_id, unit = self.volume.locate(logical_block)
+        return self._enqueue(
+            "read-block", register_id, (logical_block,), (unit,), None
+        )
+
+    def submit_write(self, logical_block: int, data: Block) -> SessionOp:
+        """Queue a one-block write; returns its :class:`SessionOp` future."""
+        self._check_block(data)
+        register_id, unit = self.volume.locate(logical_block)
+        return self._enqueue(
+            "write-block", register_id, (logical_block,), (unit,), data
+        )
+
+    def submit_read_range(self, start_block: int, count: int) -> List[SessionOp]:
+        """Queue reads of ``count`` consecutive blocks, coalesced per stripe."""
+        groups = self._stripe_groups(
+            range(start_block, start_block + count), payloads=None
+        )
+        ops = []
+        for register_id, items in groups:
+            blocks = tuple(block for block, _unit, _data in items)
+            units = tuple(unit for _block, unit, _data in items)
+            kind = "read-block" if len(items) == 1 else "read-blocks"
+            ops.append(self._enqueue(kind, register_id, blocks, units, None))
+        return ops
+
+    def submit_write_range(
+        self, start_block: int, data_blocks: Sequence[Block]
+    ) -> List[SessionOp]:
+        """Queue writes of consecutive blocks, coalesced per stripe.
+
+        Blocks of the range that land in the same stripe become one
+        operation: a full-stripe ``write-stripe`` when all ``m`` units
+        are covered (Table 1's 4δ/4n large-write path), else an atomic
+        ``write-blocks``.
+        """
+        for data in data_blocks:
+            self._check_block(data)
+        blocks = range(start_block, start_block + len(data_blocks))
+        ops = []
+        for register_id, items in self._stripe_groups(blocks, data_blocks):
+            covered = tuple(block for block, _unit, _data in items)
+            units = tuple(unit for _block, unit, _data in items)
+            if len(items) > 1:
+                self.stats.coalesced_writes += len(items) - 1
+            if len(items) == self.volume.m:
+                stripe = [None] * self.volume.m
+                for _block, unit, data in items:
+                    stripe[unit - 1] = data
+                ops.append(self._enqueue(
+                    "write-stripe", register_id, covered, units, tuple(stripe)
+                ))
+            elif len(items) == 1:
+                ops.append(self._enqueue(
+                    "write-block", register_id, covered, units, items[0][2]
+                ))
+            else:
+                payload = tuple(data for _block, _unit, data in items)
+                ops.append(self._enqueue(
+                    "write-blocks", register_id, covered, units, payload
+                ))
+        return ops
+
+    # -- draining ------------------------------------------------------------
+
+    def drain(self) -> List[SessionOp]:
+        """Run the simulation until every submitted operation finished.
+
+        Returns this session's operations (completed ones included from
+        earlier drains).  Other live sessions on the same cluster make
+        progress too — their operations and this session's interleave
+        in simulated time.
+        """
+        while self._pump is not None and not self._pump.triggered:
+            self.env.run_until_complete(self._pump)
+        self.stats.finished_at = self.env.now
+        return list(self.ops)
+
+    def read(self, logical_block: int):
+        """Synchronous pipelined read: submit, drain, return the value."""
+        op = self.submit_read(logical_block)
+        self.drain()
+        return op.result
+
+    def write(self, logical_block: int, data: Block):
+        """Synchronous pipelined write: submit, drain, return the status."""
+        op = self.submit_write(logical_block, data)
+        self.drain()
+        return op.result
+
+    def __enter__(self) -> "VolumeSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.drain()
+
+    # -- history -------------------------------------------------------------
+
+    def history(self) -> List[OpRecord]:
+        """Client-visible operation records for linearizability checking.
+
+        Each multi-block operation expands to one record per covered
+        unit (atomic within the operation's invocation/response
+        window); full-stripe writes stay single ``WRITE_STRIPE``
+        records.  Feed the per-register projection to the Appendix-B
+        checkers — an operation's window spans all its retries, which
+        is the correct client-visible granularity: retried attempts
+        rewrite the same value, so a partial earlier attempt that
+        recovery rolls forward is indistinguishable from the final one.
+        """
+        status_map = {
+            "ok": OpStatus.OK,
+            "aborted": OpStatus.ABORTED,
+            "timeout": OpStatus.ABORTED,
+            "crashed": OpStatus.CRASHED,
+            "failed": OpStatus.CRASHED,
+            "pending": OpStatus.PENDING,
+        }
+        ids = itertools.count(1)
+        records: List[OpRecord] = []
+        for op in self.ops:
+            status = status_map[op.status]
+            if op.kind == "write-stripe":
+                records.append(OpRecord(
+                    op_id=next(ids), kind=OpKind.WRITE_STRIPE,
+                    block_index=None, value=list(op.payload),
+                    t_inv=op.submitted_at, t_resp=op.finished_at,
+                    status=status, coordinator=op.coordinator,
+                ))
+                continue
+            for position, unit in enumerate(op.units):
+                if op.is_write:
+                    kind = OpKind.WRITE_BLOCK
+                    value = (
+                        op.payload if op.kind == "write-block"
+                        else op.payload[position]
+                    )
+                else:
+                    kind = OpKind.READ_BLOCK
+                    if op.status != "ok":
+                        value = None
+                    elif op.kind == "read-block":
+                        value = op.value
+                    else:
+                        value = op.value[position]
+                records.append(OpRecord(
+                    op_id=next(ids), kind=kind, block_index=unit,
+                    value=value, t_inv=op.submitted_at,
+                    t_resp=op.finished_at, status=status,
+                    coordinator=op.coordinator,
+                ))
+        return records
+
+    # -- internals -----------------------------------------------------------
+
+    def _check_block(self, data: Block) -> None:
+        if len(data) != self.volume.block_size:
+            raise ConfigurationError(
+                f"data must be exactly {self.volume.block_size} bytes, "
+                f"got {len(data)}"
+            )
+
+    def _stripe_groups(self, blocks, payloads):
+        """Group logical blocks by the stripe register they land in.
+
+        Returns ``[(register_id, [(block, unit, data), ...]), ...]`` in
+        first-touch order; ``data`` is None when ``payloads`` is None.
+        """
+        groups: Dict[int, List[Tuple[int, int, Optional[Block]]]] = {}
+        order: List[int] = []
+        for offset, block in enumerate(blocks):
+            register_id, unit = self.volume.locate(block)
+            data = payloads[offset] if payloads is not None else None
+            if register_id not in groups:
+                groups[register_id] = []
+                order.append(register_id)
+            groups[register_id].append((block, unit, data))
+        return [(register_id, groups[register_id]) for register_id in order]
+
+    def _enqueue(self, kind, register_id, blocks, units, payload) -> SessionOp:
+        op = SessionOp(
+            kind, register_id, blocks, units, payload,
+            event=self.env.event(), submitted_at=self.env.now,
+        )
+        self.ops.append(op)
+        self._queue.append(op)
+        self.stats.ops_submitted += 1
+        if self._pump is None or self._pump.triggered:
+            self._pump = self.env.process(self._pump_loop())
+        return op
+
+    def _next_dispatchable(self) -> Optional[SessionOp]:
+        """Pop the first queued op whose register has nothing in flight.
+
+        The session never races its own operations on one stripe:
+        dispatch is out-of-order across registers but in submission
+        order per register, so a pipeline full of writes to the same
+        block does not abort-storm itself — conflicts are left to
+        genuinely concurrent clients.
+        """
+        for index, op in enumerate(self._queue):
+            if op.register_id not in self._busy_registers:
+                del self._queue[index]
+                return op
+        return None
+
+    def _pump_loop(self):
+        """Keep up to ``max_inflight`` operations running until drained."""
+        while self._queue or self._inflight:
+            while self._queue and len(self._inflight) < self.max_inflight:
+                op = self._next_dispatchable()
+                if op is None:
+                    break
+                self._busy_registers.add(op.register_id)
+                self._inflight[self.env.process(self._run_op(op))] = op
+            self.stats.note_inflight(len(self._inflight))
+            yield self.env.any_of(list(self._inflight))
+            for process in [p for p in self._inflight if p.triggered]:
+                self._busy_registers.discard(self._inflight[process].register_id)
+                del self._inflight[process]
+        return None
+
+    def _pick_coordinator(
+        self, op: SessionOp, avoid: Optional[ProcessId] = None
+    ) -> Optional[ProcessId]:
+        """Choose the coordinating brick for the next attempt.
+
+        Prefers the pinned coordinator while it is alive (and not the
+        brick just failed away from); otherwise rotates round-robin
+        over live bricks.  Returns ``None`` when no brick is up.
+        """
+        live = self.cluster.live_processes()
+        if not live:
+            return None
+        pinned = self.route.coordinator
+        if pinned is not None and pinned in live and pinned != avoid:
+            return pinned
+        if avoid in live and len(live) > 1:
+            live = [pid for pid in live if pid != avoid]
+        pid = live[self._rr % len(live)]
+        self._rr += 1
+        return pid
+
+    def _spawn_attempt(self, op: SessionOp, pid: ProcessId) -> Process:
+        register = self.cluster.register(op.register_id, pid)
+        if op.kind == "read-block":
+            return register.read_block_async(op.units[0])
+        if op.kind == "read-blocks":
+            return register.read_blocks_async(list(op.units))
+        if op.kind == "write-block":
+            return register.write_block_async(op.units[0], op.payload)
+        if op.kind == "write-blocks":
+            return register.write_blocks_async(
+                dict(zip(op.units, op.payload))
+            )
+        if op.kind == "write-stripe":
+            return register.write_stripe_async(list(op.payload))
+        raise ConfigurationError(f"unknown session op kind {op.kind!r}")
+
+    def _run_op(self, op: SessionOp):
+        """Drive one operation to completion: retry, back off, fail over."""
+        policy = self.retry
+        start = self.env.now
+        delay = policy.backoff
+        avoid: Optional[ProcessId] = None
+        try:
+            while True:
+                if self._past_deadline(start):
+                    self._finalize_timeout(op)
+                    return
+                pid = self._pick_coordinator(op, avoid=avoid)
+                avoid = None
+                if pid is None:
+                    # Every brick is down: wait for the failure injector
+                    # (or the caller) to recover one, bounded by the
+                    # deadline if the policy set one.
+                    yield self.env.timeout(max(policy.backoff, 1.0))
+                    continue
+                op.attempts += 1
+                op.coordinator = pid
+                attempt = self._spawn_attempt(op, pid)
+                try:
+                    if policy.attempt_timeout is not None:
+                        timer = self.env.timeout(policy.attempt_timeout)
+                        event, _value = yield self.env.any_of([attempt, timer])
+                        if event is timer and not attempt.triggered:
+                            # Abandon the slow attempt (it stays
+                            # harmless: linearizability makes a same-
+                            # value rewrite safe) and fail over.
+                            if not self._note_failover(op):
+                                return
+                            avoid = pid
+                            continue
+                        result = attempt.value
+                    else:
+                        result = yield attempt
+                except Interrupt:
+                    # Coordinator crashed mid-operation.
+                    if not self._note_failover(op):
+                        return
+                    avoid = pid
+                    continue
+                if result is not ABORT:
+                    self._finalize_ok(op, result)
+                    return
+                # ⊥: safe to retry with a fresh timestamp (Section 4).
+                if op.attempts >= policy.attempts:
+                    op.status = "aborted"
+                    op.value = ABORT
+                    self.stats.aborts_exhausted += 1
+                    self._finish(op)
+                    return
+                op.retries += 1
+                self.stats.retries += 1
+                wait = delay * (1.0 + policy.jitter * self._rng.random())
+                delay *= policy.backoff_growth
+                yield self.env.timeout(wait)
+        except Exception as error:  # defensive: never kill the pump
+            op.status = "failed"
+            op.error = error
+            self.stats.ops_failed += 1
+            self._finish(op, completed=False)
+
+    def _past_deadline(self, start: float) -> bool:
+        deadline = self.retry.deadline
+        return deadline is not None and self.env.now - start >= deadline
+
+    def _note_failover(self, op: SessionOp) -> bool:
+        """Count a failover; finalize the op if the route/policy forbids it."""
+        op.failovers += 1
+        self.stats.failovers += 1
+        if not self.route.failover:
+            op.status = "crashed"
+            op.error = StorageError(
+                f"coordinator p{op.coordinator} crashed mid-{op.kind} "
+                "and failover is disabled"
+            )
+            self.stats.ops_failed += 1
+            self._finish(op, completed=False)
+            return False
+        if op.failovers > self.retry.max_failovers:
+            op.status = "crashed"
+            op.error = StorageError(
+                f"{op.kind} failed over {op.failovers} times without "
+                "completing"
+            )
+            self.stats.ops_failed += 1
+            self._finish(op, completed=False)
+            return False
+        return True
+
+    def _finalize_timeout(self, op: SessionOp) -> None:
+        op.status = "timeout"
+        op.value = ABORT
+        self.stats.timeouts += 1
+        self._finish(op)
+
+    def _finalize_ok(self, op: SessionOp, result) -> None:
+        op.status = "ok"
+        if op.is_write:
+            op.value = result  # "OK"
+        elif op.kind == "read-block":
+            op.value = self._materialize(result)
+        else:  # read-blocks: order per-unit replies by submission order
+            op.value = [
+                self._materialize(result[unit]) for unit in op.units
+            ]
+        self._finish(op)
+
+    def _materialize(self, block) -> Block:
+        """nil blocks read as zeros — standard disk semantics."""
+        if block is None:
+            return bytes(self.volume.block_size)
+        return bytes(block)
+
+    def _finish(self, op: SessionOp, completed: bool = True) -> None:
+        op.finished_at = self.env.now
+        if completed:
+            self.stats.ops_completed += 1
+        op.event.succeed(op)
+
+    def __repr__(self) -> str:
+        return (
+            f"VolumeSession(max_inflight={self.max_inflight}, "
+            f"submitted={self.stats.ops_submitted}, "
+            f"inflight={len(self._inflight)}, queued={len(self._queue)})"
+        )

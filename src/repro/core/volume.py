@@ -16,19 +16,29 @@ conflict ablation uses as its worst case.
 
 Reads of never-written data return zeros, the standard disk semantics
 (the register's ``nil`` materializes as a zero block here).
+
+Coordinator selection takes a :class:`~repro.core.routing.RouteOptions`
+via ``route=`` on every operation (the legacy ``coordinator_pid=``
+keywords still work, with a :class:`DeprecationWarning`).  For
+pipelined access, :meth:`LogicalVolume.session` opens a
+:class:`~repro.core.session.VolumeSession` that keeps many operations
+in flight with retry and failover built in.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 from ..errors import ConfigurationError, StorageError
 from ..sim.kernel import Interrupt
-from ..types import ABORT, Block
+from ..types import ABORT, Block, ProcessId
 from .cluster import FabCluster
-from .register import StorageRegister
+from .routing import RouteOptions, resolve_route
 
 __all__ = ["LogicalVolume"]
+
+#: Either form an operation's ``route=`` accepts.
+RouteLike = Union[RouteOptions, ProcessId, None]
 
 
 class LogicalVolume:
@@ -40,9 +50,11 @@ class LogicalVolume:
         base_register_id: register-id offset, letting several volumes
             share one cluster without colliding.
         coordinator_pid: default coordinator brick; per-call override
-            supported on every operation.
+            supported on every operation via ``route=``.
         stripe_shuffle: map consecutive logical blocks to different
             stripes (reduces stripe-level conflicts).
+        route: default :class:`RouteOptions` for operations that do not
+            pass their own; supersedes ``coordinator_pid`` when given.
     """
 
     def __init__(
@@ -52,13 +64,21 @@ class LogicalVolume:
         base_register_id: int = 0,
         coordinator_pid: int = 1,
         stripe_shuffle: bool = True,
+        route: Optional[RouteOptions] = None,
     ) -> None:
         if num_stripes < 1:
             raise ConfigurationError(f"num_stripes must be >= 1, got {num_stripes}")
         self.cluster = cluster
         self.num_stripes = num_stripes
         self.base_register_id = base_register_id
-        self.coordinator_pid = coordinator_pid
+        if route is None:
+            route = RouteOptions(coordinator=coordinator_pid)
+        elif route.coordinator is None:
+            route = RouteOptions(
+                coordinator=coordinator_pid, failover=route.failover
+            )
+        self.route = route
+        self.coordinator_pid = route.coordinator
         self.stripe_shuffle = stripe_shuffle
         self.m = cluster.config.m
         self.block_size = cluster.config.block_size
@@ -72,6 +92,18 @@ class LogicalVolume:
     def capacity_bytes(self) -> int:
         """Logical capacity in bytes."""
         return self.num_blocks * self.block_size
+
+    # -- pipelined access ------------------------------------------------------
+
+    def session(self, max_inflight: int = 8, **kwargs):
+        """Open a pipelined :class:`~repro.core.session.VolumeSession`.
+
+        Keyword arguments (``retry=``, ``route=``, ``seed=``) are
+        forwarded to the session constructor.
+        """
+        from .session import VolumeSession
+
+        return VolumeSession(self, max_inflight=max_inflight, **kwargs)
 
     # -- address translation ---------------------------------------------------
 
@@ -94,12 +126,15 @@ class LogicalVolume:
             unit = logical_block % self.m
         return self.base_register_id + stripe, unit + 1
 
-    def _register(self, register_id: int, coordinator_pid: Optional[int]) -> StorageRegister:
-        pid = coordinator_pid if coordinator_pid is not None else self.coordinator_pid
-        return self.cluster.register(register_id, pid)
+    def _route(
+        self, route: RouteLike, coordinator_pid: Optional[int]
+    ) -> RouteOptions:
+        return resolve_route(
+            route, coordinator_pid, default=self.route, stacklevel=4
+        )
 
-    def _execute(self, register_id: int, coordinator_pid: Optional[int], run_op):
-        """Run one register operation with coordinator failover.
+    def _execute(self, register_id: int, route: RouteOptions, run_op):
+        """Run one register operation under ``route``'s failover rules.
 
         A client accessing a FAB volume is multipathed: if the brick
         coordinating its request dies mid-operation (surfacing here as
@@ -108,14 +143,26 @@ class LogicalVolume:
         makes this retry safe: the dead coordinator's partial operation
         either took effect before the crash or never will.
 
+        With ``route.failover`` disabled the crash is surfaced as a
+        :class:`~repro.errors.StorageError` instead.
+
         Args:
             run_op: callable ``(StorageRegister) -> result`` performing
                 the blocking operation.
         """
         preferred = (
-            coordinator_pid if coordinator_pid is not None
+            route.coordinator if route.coordinator is not None
             else self.coordinator_pid
         )
+        if not route.failover:
+            register = self.cluster.register(register_id, preferred)
+            try:
+                return run_op(register)
+            except Interrupt as interrupt:
+                raise StorageError(
+                    f"coordinator p{preferred} crashed mid-operation and "
+                    "failover is disabled"
+                ) from interrupt
         attempts = 0
         while attempts < self._MAX_FAILOVERS:
             attempts += 1
@@ -139,14 +186,22 @@ class LogicalVolume:
 
     # -- block I/O ------------------------------------------------------------
 
-    def read(self, logical_block: int, coordinator_pid: Optional[int] = None):
+    def read(
+        self,
+        logical_block: int,
+        route: RouteLike = None,
+        *,
+        coordinator_pid: Optional[int] = None,
+    ):
         """Read one logical block; zeros if never written; ABORT on conflict.
 
-        Fails over to another brick if the coordinator crashes mid-read.
+        Fails over to another brick if the coordinator crashes mid-read
+        (unless ``route.failover`` is off).
         """
+        resolved = self._route(route, coordinator_pid)
         register_id, unit = self.locate(logical_block)
         value = self._execute(
-            register_id, coordinator_pid,
+            register_id, resolved,
             lambda register: register.read_block(unit),
         )
         if value is ABORT:
@@ -156,31 +211,44 @@ class LogicalVolume:
         return value
 
     def write(
-        self, logical_block: int, data: Block, coordinator_pid: Optional[int] = None
+        self,
+        logical_block: int,
+        data: Block,
+        route: RouteLike = None,
+        *,
+        coordinator_pid: Optional[int] = None,
     ):
         """Write one logical block; returns "OK" or ABORT.
 
-        Fails over to another brick if the coordinator crashes mid-write.
+        Fails over to another brick if the coordinator crashes mid-write
+        (unless ``route.failover`` is off).
         """
         if len(data) != self.block_size:
             raise ConfigurationError(
                 f"data must be exactly {self.block_size} bytes, got {len(data)}"
             )
+        resolved = self._route(route, coordinator_pid)
         register_id, unit = self.locate(logical_block)
         return self._execute(
-            register_id, coordinator_pid,
+            register_id, resolved,
             lambda register: register.write_block(unit, data),
         )
 
     # -- multi-block I/O ---------------------------------------------------------
 
     def read_range(
-        self, start_block: int, count: int, coordinator_pid: Optional[int] = None
+        self,
+        start_block: int,
+        count: int,
+        route: RouteLike = None,
+        *,
+        coordinator_pid: Optional[int] = None,
     ):
         """Read ``count`` consecutive logical blocks; ABORT aborts the batch."""
+        resolved = self._route(route, coordinator_pid)
         blocks: List[Block] = []
         for offset in range(count):
-            value = self.read(start_block + offset, coordinator_pid)
+            value = self.read(start_block + offset, resolved)
             if value is ABORT:
                 return ABORT
             blocks.append(value)
@@ -190,11 +258,14 @@ class LogicalVolume:
         self,
         start_block: int,
         data_blocks: Sequence[Block],
+        route: RouteLike = None,
+        *,
         coordinator_pid: Optional[int] = None,
     ):
         """Write consecutive logical blocks; stops and returns ABORT on conflict."""
+        resolved = self._route(route, coordinator_pid)
         for offset, data in enumerate(data_blocks):
-            result = self.write(start_block + offset, data, coordinator_pid)
+            result = self.write(start_block + offset, data, resolved)
             if result is ABORT:
                 return ABORT
         return "OK"
@@ -203,6 +274,8 @@ class LogicalVolume:
         self,
         stripe_index: int,
         stripe: Sequence[Block],
+        route: RouteLike = None,
+        *,
         coordinator_pid: Optional[int] = None,
     ):
         """Full-stripe write (the efficient path for large sequential I/O).
@@ -219,9 +292,10 @@ class LogicalVolume:
             raise ConfigurationError(
                 f"stripe must have m={self.m} blocks, got {len(stripe)}"
             )
+        resolved = self._route(route, coordinator_pid)
         return self._execute(
             self.base_register_id + stripe_index,
-            coordinator_pid,
+            resolved,
             lambda register: register.write_stripe(list(stripe)),
         )
 

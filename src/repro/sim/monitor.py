@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-__all__ = ["Metrics", "OpMetrics"]
+__all__ = ["Metrics", "OpMetrics", "SessionStats"]
 
 
 @dataclass
@@ -60,6 +60,51 @@ class OpMetrics:
         return 2 * self.round_trips
 
 
+@dataclass
+class SessionStats:
+    """Counters for one :class:`~repro.core.session.VolumeSession`.
+
+    The session engine reports here so benchmarks can attribute retry,
+    failover, and concurrency behaviour per pipeline rather than only
+    globally.
+
+    Attributes:
+        ops_submitted: logical operations accepted by the session
+            (after write coalescing — a coalesced stripe write is one).
+        ops_completed: operations finished with a client-visible value
+            (including those that exhausted retries and returned ⊥).
+        ops_failed: operations that finished with a hard error (e.g.
+            coordinator crash with failover disabled).
+        retries: abort-driven re-executions across all operations.
+        aborts_exhausted: operations that surfaced ⊥ after the retry
+            policy gave up.
+        failovers: coordinator rotations (crash- or timeout-driven).
+        timeouts: operations that exceeded their per-op deadline.
+        coalesced_writes: block writes merged into wider stripe
+            operations (each merge of k blocks counts k - 1).
+        peak_inflight: maximum simultaneously-running operations.
+        started_at / finished_at: simulated wall-clock bounds (the
+            session stamps ``finished_at`` at each drain).
+    """
+
+    ops_submitted: int = 0
+    ops_completed: int = 0
+    ops_failed: int = 0
+    retries: int = 0
+    aborts_exhausted: int = 0
+    failovers: int = 0
+    timeouts: int = 0
+    coalesced_writes: int = 0
+    peak_inflight: int = 0
+    started_at: float = 0.0
+    finished_at: Optional[float] = None
+
+    def note_inflight(self, count: int) -> None:
+        """Record an observed concurrency level."""
+        if count > self.peak_inflight:
+            self.peak_inflight = count
+
+
 class Metrics:
     """Global metric sink with an optional per-operation context.
 
@@ -75,7 +120,9 @@ class Metrics:
         self.total_disk_reads = 0
         self.total_disk_writes = 0
         self.dropped_messages = 0
+        self.total_retransmissions = 0
         self.operations: List[OpMetrics] = []
+        self.sessions: List[SessionStats] = []
         self._current: Optional[OpMetrics] = None
 
     # -- operation scoping ---------------------------------------------
@@ -94,7 +141,47 @@ class Metrics:
         if self._current is op:
             self._current = None
 
+    # -- session scoping --------------------------------------------------
+
+    def begin_session(self, now: float = 0.0) -> SessionStats:
+        """Open a per-session counter block; returns it for direct updates."""
+        stats = SessionStats(started_at=now)
+        self.sessions.append(stats)
+        return stats
+
+    def session_summary(self) -> Dict[str, int]:
+        """Aggregate counters over every session opened on this sink."""
+        totals = {
+            "sessions": len(self.sessions),
+            "ops_submitted": 0,
+            "ops_completed": 0,
+            "ops_failed": 0,
+            "retries": 0,
+            "aborts_exhausted": 0,
+            "failovers": 0,
+            "timeouts": 0,
+            "coalesced_writes": 0,
+            "peak_inflight": 0,
+        }
+        for stats in self.sessions:
+            totals["ops_submitted"] += stats.ops_submitted
+            totals["ops_completed"] += stats.ops_completed
+            totals["ops_failed"] += stats.ops_failed
+            totals["retries"] += stats.retries
+            totals["aborts_exhausted"] += stats.aborts_exhausted
+            totals["failovers"] += stats.failovers
+            totals["timeouts"] += stats.timeouts
+            totals["coalesced_writes"] += stats.coalesced_writes
+            totals["peak_inflight"] = max(
+                totals["peak_inflight"], stats.peak_inflight
+            )
+        return totals
+
     # -- counting hooks --------------------------------------------------
+
+    def count_retransmission(self) -> None:
+        """Record one quorum-phase retransmission round."""
+        self.total_retransmissions += 1
 
     def count_message(self, size: int) -> None:
         """Record one protocol message of ``size`` payload bytes."""

@@ -34,6 +34,17 @@ class TestCli:
         out = capsys.readouterr().out
         assert "stale after rebuild: 0" in out
 
+    def test_pipeline(self, capsys, tmp_path):
+        out_file = tmp_path / "pipeline.txt"
+        assert main([
+            "pipeline", "--inflights", "1", "8", "--ops", "30",
+            "--out", str(out_file),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "throughput vs max_inflight" in out
+        assert "scripted coordinator crash" in out
+        assert "throughput vs max_inflight" in out_file.read_text()
+
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
@@ -41,5 +52,7 @@ class TestCli:
     def test_parser_help_lists_commands(self):
         parser = build_parser()
         help_text = parser.format_help()
-        for command in ("figure2", "figure3", "table1", "demo", "scrub"):
+        for command in (
+            "figure2", "figure3", "table1", "demo", "scrub", "pipeline",
+        ):
             assert command in help_text
