@@ -1,0 +1,64 @@
+"""Simulator-core fast path: seed vs copy-on-write/journal throughput.
+
+The seed simulator deep-copied every stable-store access and re-stored
+the full replica log per mutation — O(writes²) copying before any
+protocol work.  This bench runs the identical protocol schedule on the
+seed path and the fast path (copy-on-write store + journal persistence)
+across (m, n) ∈ {(2,4), (4,8), (8,16)} plus a 10k-op headline at
+(4, 8), and asserts the fast path's advertised gains:
+
+* ≥ 5x ops/sec at the (4, 8) × 10k headline;
+* stable-store byte copying collapses (structural sharing);
+* kernel events/sec improves (slotted events, lean delivery path).
+
+Artifacts: ``benchmarks/out/simcore_profile.txt`` (human-readable) and
+``benchmarks/out/BENCH_simcore.json`` (machine-readable perf trajectory
+for future PRs to regress against).
+"""
+
+import json
+
+from repro.analysis import simcore
+
+from .conftest import OUT_DIR, write_artifact
+
+
+def run_profile():
+    return simcore.run_profile()
+
+
+def test_bench_simcore(benchmark):
+    results = benchmark.pedantic(run_profile, rounds=1, iterations=1)
+    write_artifact("simcore_profile", simcore.render_report(results))
+    json_path = OUT_DIR / "BENCH_simcore.json"
+    json_path.write_text(simcore.to_json(results) + "\n")
+
+    by_key = {
+        (row["m"], row["n"], row["ops"], row["path"]): row for row in results
+    }
+    m, n, ops = simcore.HEADLINE
+    seed_row = by_key[(m, n, ops, "seed")]
+    fast_row = by_key[(m, n, ops, "fast")]
+
+    # The acceptance headline: >= 5x ops/sec over the seed persistence
+    # path at (4, 8) with 10k ops.
+    speedup = fast_row["ops_per_s"] / seed_row["ops_per_s"]
+    assert speedup >= 5.0, f"simcore speedup regressed: {speedup:.1f}x < 5x"
+
+    # Copy-on-write + journal persistence all but eliminates byte
+    # copying (the seed path copies the whole log per mutation).
+    assert fast_row["bytes_copied"] < seed_row["bytes_copied"] / 100
+
+    # The kernel micro-path gains show up as events/sec too.
+    assert fast_row["events_per_s"] > seed_row["events_per_s"]
+
+    # Both paths executed the same protocol schedule.
+    assert fast_row["messages"] == seed_row["messages"]
+    assert fast_row["sim_events"] == seed_row["sim_events"]
+    assert fast_row["disk_writes"] == seed_row["disk_writes"]
+
+    # The JSON artifact is well-formed and carries the speedup table.
+    payload = json.loads(json_path.read_text())
+    assert payload["benchmark"] == "simcore"
+    assert payload["speedup_fast_over_seed"][f"({m},{n})x{ops}"] == speedup
+    assert len(payload["cases"]) == len(results)

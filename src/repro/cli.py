@@ -8,6 +8,7 @@ Regenerates the paper's artifacts without going through pytest::
     python -m repro.cli demo                   # the quickstart scenario
     python -m repro.cli scrub --stripes 8      # scrub/rebuild walkthrough
     python -m repro.cli pipeline               # pipelined session throughput
+    python -m repro.cli simcore                # simulator-core events/sec profile
 
 Each subcommand prints the same rows the corresponding benchmark writes
 to ``benchmarks/out/``.
@@ -172,6 +173,33 @@ def _pipeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _simcore(args: argparse.Namespace) -> int:
+    from .analysis.simcore import render_report, run_profile, to_json
+
+    grid = []
+    for pair in args.pairs:
+        m_text, n_text = pair.split(",")
+        grid.append((int(m_text), int(n_text), args.ops))
+    results = run_profile(
+        grid=grid,
+        headline=None,
+        paths=tuple(args.paths),
+        registers=args.registers,
+        block_size=args.block_size,
+    )
+    report = render_report(results)
+    print(report)
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            handle.write(to_json(results) + "\n")
+        print(f"JSON written to {args.json_out}")
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report)
+        print(f"report written to {args.out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -219,6 +247,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the report to this file",
     )
     pipeline.set_defaults(func=_pipeline)
+
+    simcore = subparsers.add_parser(
+        "simcore",
+        help="simulator-core throughput profile (seed vs fast path)",
+    )
+    simcore.add_argument(
+        "--pairs", type=str, nargs="+", default=["4,8"],
+        help="m,n pairs to run, e.g. --pairs 2,4 4,8",
+    )
+    simcore.add_argument("--ops", type=int, default=1000)
+    simcore.add_argument(
+        "--paths", type=str, nargs="+", default=["seed", "fast"],
+        choices=["seed", "fast"],
+    )
+    simcore.add_argument("--registers", type=int, default=50)
+    simcore.add_argument("--block-size", type=int, default=64)
+    simcore.add_argument(
+        "--json", dest="json_out", type=str, default=None,
+        help="write the machine-readable results to this file",
+    )
+    simcore.add_argument(
+        "--out", type=str, default=None,
+        help="also write the report to this file",
+    )
+    simcore.set_defaults(func=_simcore)
 
     return parser
 

@@ -58,6 +58,15 @@ class ClusterConfig:
         disk_read_latency / disk_write_latency: simulated time per log
             block read/write at replicas (0 = the paper's free-disk
             cost model).
+        store_mode: stable-store copy discipline — ``"cow"``
+            (copy-on-write, default) or ``"deepcopy"`` (the seed
+            baseline the simcore benchmark measures against).
+        persistence: replica log persistence — ``"journal"`` (O(1)
+            delta records per mutation, default) or ``"full"``
+            (re-store the whole log per mutation, the seed baseline).
+        metrics_history_limit: cap on retained per-operation metric
+            records (None = unlimited); long benchmark runs set a limit
+            so metric history stays O(1) in run length.
         seed: master seed; node-level randomness derives from it.
     """
 
@@ -71,6 +80,9 @@ class ClusterConfig:
     clock_skews: Dict[int, float] = field(default_factory=dict)
     disk_read_latency: float = 0.0
     disk_write_latency: float = 0.0
+    store_mode: str = "cow"
+    persistence: str = "journal"
+    metrics_history_limit: Optional[int] = None
     seed: int = 0
 
 
@@ -83,7 +95,7 @@ class FabCluster:
         if cfg.n < cfg.m:
             raise ConfigurationError(f"need n >= m, got n={cfg.n}, m={cfg.m}")
         self.env = Environment()
-        self.metrics = Metrics()
+        self.metrics = Metrics(history_limit=cfg.metrics_history_limit)
         self.network = Network(self.env, cfg.network, self.metrics)
         self.code = make_code(cfg.m, cfg.n, cfg.code_kind)
         self.quorum_system = MajorityMQuorumSystem(cfg.n, cfg.m, cfg.f)
@@ -92,11 +104,15 @@ class FabCluster:
         self.coordinators: Dict[ProcessId, Coordinator] = {}
         master = random.Random(cfg.seed)
         for pid in range(1, cfg.n + 1):
-            node = Node(self.env, self.network, pid, self.metrics)
+            node = Node(
+                self.env, self.network, pid, self.metrics,
+                store_mode=cfg.store_mode,
+            )
             replica = Replica(
                 node, self.code, pid,
                 disk_read_latency=cfg.disk_read_latency,
                 disk_write_latency=cfg.disk_write_latency,
+                persistence=cfg.persistence,
             )
             ts_source = TimestampSource(
                 pid,

@@ -72,9 +72,10 @@ class GarbageCollector:
             state = replica.state(register_id)
             count = state.log.trim_below(ts)
             if count:
-                replica.node.stable.store(
-                    replica._log_key(register_id), state.log.to_state()
-                )
+                # Route through the replica's persistence path so the
+                # journal gets its trim record (and compaction hook)
+                # exactly as the online GC notice would produce.
+                replica.persist_trim(register_id, state, ts)
             removed[pid] = count
         return removed
 

@@ -17,18 +17,36 @@ The initial log is ``{[LowTS, nil]}`` — note ``nil`` (no value ever
 written) is distinct from ``⊥`` (no value recorded at this timestamp):
 ``max_block`` on a fresh log returns the ``nil`` entry, letting reads of
 never-written registers succeed with ``nil``.
+
+Performance notes.  Besides the timestamp-sorted entry list, the log
+maintains a parallel index of *value* entries (non-⊥), so ``max_block``
+is O(1) and ``max_below`` is a pure bisection — the seed walked the
+entry list backwards past every ⊥ placeholder.  For persistence, the
+log also defines a journal representation (:func:`append_record` /
+:func:`trim_record` / :func:`snapshot_record` + :func:`replay_journal`):
+instead of re-serializing the full entry list on every mutation
+(O(log-length) per write, O(writes²) per run), the replica appends O(1)
+delta records and replays them on recovery.
 """
 
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 from ..errors import ProtocolInvariantError
+from ..sim.freeze import register_immutable
 from ..timestamps import LOW_TS, Timestamp
 
-__all__ = ["LogEntry", "ReplicaLog", "BOTTOM"]
+__all__ = [
+    "LogEntry",
+    "ReplicaLog",
+    "BOTTOM",
+    "append_record",
+    "trim_record",
+    "snapshot_record",
+    "replay_journal",
+]
 
 
 class _BottomType:
@@ -51,31 +69,51 @@ class _BottomType:
 #: The ⊥ marker stored in timestamp-only log entries.
 BOTTOM = _BottomType()
 
+# ⊥ is a stateless singleton: the copy-on-write stable store may share
+# it by reference (identity must survive persistence — handlers compare
+# with ``is``).
+register_immutable(_BottomType)
 
-@dataclass(frozen=True)
+
 class LogEntry:
     """One ``[timestamp, block]`` log pair.
 
     ``block`` is ``bytes``, ``None`` (the paper's ``nil`` initial
     value), or :data:`BOTTOM` (the paper's ``⊥`` timestamp-only entry).
+    Entries are treated as immutable and are slotted — one exists per
+    logged write, so per-instance ``__dict__`` overhead matters.
     """
 
-    ts: Timestamp
-    block: object
+    __slots__ = ("ts", "block")
+
+    def __init__(self, ts: Timestamp, block: object) -> None:
+        self.ts = ts
+        self.block = block
 
     @property
     def has_value(self) -> bool:
         """True iff the entry records an actual value (incl. ``nil``)."""
         return self.block is not BOTTOM
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LogEntry):
+            return NotImplemented
+        return self.ts == other.ts and self.block == other.block
+
+    def __hash__(self) -> int:
+        return hash((self.ts, self.block))
+
+    def __repr__(self) -> str:
+        return f"LogEntry(ts={self.ts!r}, block={self.block!r})"
+
 
 class ReplicaLog:
     """The per-register log, kept sorted by timestamp.
 
     The log is an append-mostly structure; entries arrive in roughly
-    timestamp order, so insertion uses ``bisect``.  All mutating methods
-    return ``self`` is avoided — mutations are explicit, and the replica
-    persists the log via its node's stable store after each change.
+    timestamp order, so insertion uses ``bisect``.  Mutations are
+    explicit, and the replica persists each one via its node's stable
+    store (journal records on the fast path).
     """
 
     def __init__(self, entries: Optional[List[LogEntry]] = None) -> None:
@@ -85,36 +123,45 @@ class ReplicaLog:
         self._keys = [entry.ts for entry in self._entries]
         if not self._entries:
             raise ProtocolInvariantError("log may never be empty")
+        # Parallel index of value (non-⊥) entries, ascending by ts.
+        self._value_keys: List[Timestamp] = []
+        self._value_entries: List[LogEntry] = []
+        for entry in self._entries:
+            if entry.block is not BOTTOM:
+                self._value_keys.append(entry.ts)
+                self._value_entries.append(entry)
 
     # -- queries (the paper's three functions) ----------------------------
 
     def max_ts(self) -> Timestamp:
         """``max-ts(log)``: the highest timestamp present."""
-        return self._entries[-1].ts
+        return self._keys[-1]
 
     def max_block(self) -> Tuple[Timestamp, object]:
         """``max-block(log)``: the non-⊥ value with the highest timestamp.
 
         Returns the ``(ts, block)`` pair.  At least the initial
-        ``[LowTS, nil]`` entry always qualifies.
+        ``[LowTS, nil]`` entry always qualifies.  O(1) via the value
+        index.
         """
-        for entry in reversed(self._entries):
-            if entry.has_value:
-                return entry.ts, entry.block
-        raise ProtocolInvariantError("log has no value entries (missing LowTS)")
+        if not self._value_entries:
+            raise ProtocolInvariantError("log has no value entries (missing LowTS)")
+        newest = self._value_entries[-1]
+        return newest.ts, newest.block
 
     def max_below(self, ts: Timestamp) -> Tuple[Timestamp, object]:
         """``max-below(log, ts)``: highest-timestamped non-⊥ value < ``ts``.
 
         Returns ``(LowTS, None)`` when nothing qualifies (e.g. the GC
         trimmed everything below ``ts`` away, or ``ts`` is LowTS).
+        O(log n) — a bisection on the value index, with no scan past ⊥
+        placeholders.
         """
-        index = bisect.bisect_left(self._keys, ts)
-        for position in range(index - 1, -1, -1):
-            entry = self._entries[position]
-            if entry.has_value:
-                return entry.ts, entry.block
-        return LOW_TS, None
+        index = bisect.bisect_left(self._value_keys, ts)
+        if index == 0:
+            return LOW_TS, None
+        entry = self._value_entries[index - 1]
+        return entry.ts, entry.block
 
     def max_ts_below(self, ts: Timestamp) -> Timestamp:
         """Highest timestamp of ANY entry (⊥ included) strictly below ``ts``.
@@ -163,11 +210,20 @@ class ReplicaLog:
         index = bisect.bisect_left(self._keys, ts)
         if index < len(self._keys) and self._keys[index] == ts:
             existing = self._entries[index]
-            if not existing.has_value and block is not BOTTOM:
-                self._entries[index] = LogEntry(ts, block)
+            if existing.block is BOTTOM and block is not BOTTOM:
+                entry = LogEntry(ts, block)
+                self._entries[index] = entry
+                value_index = bisect.bisect_left(self._value_keys, ts)
+                self._value_keys.insert(value_index, ts)
+                self._value_entries.insert(value_index, entry)
             return
-        self._entries.insert(index, LogEntry(ts, block))
+        entry = LogEntry(ts, block)
+        self._entries.insert(index, entry)
         self._keys.insert(index, ts)
+        if block is not BOTTOM:
+            value_index = bisect.bisect_left(self._value_keys, ts)
+            self._value_keys.insert(value_index, ts)
+            self._value_entries.insert(value_index, entry)
 
     def trim_below(self, ts: Timestamp) -> int:
         """Garbage-collect entries with timestamps strictly below ``ts``.
@@ -183,22 +239,27 @@ class ReplicaLog:
         cut = bisect.bisect_left(self._keys, ts)
         if cut == 0:
             return 0
-        # Guarantee a value entry survives.
-        has_value_at_or_after = any(
-            entry.has_value for entry in self._entries[cut:]
+        # Guarantee a value entry survives (timestamps are unique, so a
+        # value entry survives the cut iff the newest value timestamp is
+        # at or after the first kept key).
+        survives = (
+            cut < len(self._keys)
+            and self._value_keys
+            and self._value_keys[-1] >= self._keys[cut]
         )
-        if not has_value_at_or_after:
-            for position in range(cut - 1, -1, -1):
-                if self._entries[position].has_value:
-                    cut = position
-                    break
-            else:
+        if not survives:
+            if not self._value_keys:
                 return 0
-        if cut == 0:
-            return 0
+            cut = bisect.bisect_left(self._keys, self._value_keys[-1])
+            if cut == 0:
+                return 0
         removed = cut
+        first_kept = self._keys[cut]
+        value_cut = bisect.bisect_left(self._value_keys, first_kept)
         self._entries = self._entries[cut:]
         self._keys = self._keys[cut:]
+        self._value_keys = self._value_keys[value_cut:]
+        self._value_entries = self._value_entries[value_cut:]
         return removed
 
     # -- persistence helpers -------------------------------------------------
@@ -214,3 +275,50 @@ class ReplicaLog:
 
     def __repr__(self) -> str:
         return f"ReplicaLog({len(self._entries)} entries, max_ts={self.max_ts()!r})"
+
+
+# -- journal records ---------------------------------------------------------
+#
+# The journal-style stable representation: a list of O(1) delta records,
+# each mirroring one ReplicaLog mutation.  Replay applies them in order,
+# so recovery reconstructs exactly the log the mutations produced.
+# Record tuples are (tag, ...); tags:
+
+_APPEND = "a"
+_TRIM = "t"
+_SNAPSHOT = "s"
+
+
+def append_record(ts: Timestamp, block: object) -> tuple:
+    """Journal record for ``log.append(ts, block)``."""
+    return (_APPEND, ts, block)
+
+
+def trim_record(ts: Timestamp) -> tuple:
+    """Journal record for ``log.trim_below(ts)``."""
+    return (_TRIM, ts)
+
+
+def snapshot_record(log: ReplicaLog) -> tuple:
+    """A compaction base record holding the log's full state."""
+    return (_SNAPSHOT, tuple(log.to_state()))
+
+
+def replay_journal(records: List[Any]) -> ReplicaLog:
+    """Rebuild a log by replaying journal ``records`` in order."""
+    log: Optional[ReplicaLog] = None
+    for record in records:
+        tag = record[0]
+        if tag == _SNAPSHOT:
+            log = ReplicaLog.from_state(list(record[1]))
+        elif tag == _APPEND:
+            if log is None:
+                log = ReplicaLog()
+            log.append(record[1], record[2])
+        elif tag == _TRIM:
+            if log is None:
+                log = ReplicaLog()
+            log.trim_below(record[1])
+        else:
+            raise ProtocolInvariantError(f"unknown journal record tag {tag!r}")
+    return log if log is not None else ReplicaLog()

@@ -26,11 +26,19 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+from ..errors import ConfigurationError
 from ..erasure.interface import ErasureCode
 from ..sim.node import Node
 from ..timestamps import LOW_TS, Timestamp
 from ..types import ProcessId
-from .log import BOTTOM, ReplicaLog
+from .log import (
+    BOTTOM,
+    ReplicaLog,
+    append_record,
+    replay_journal,
+    snapshot_record,
+    trim_record,
+)
 from .messages import (
     ALL,
     GcReq,
@@ -50,6 +58,11 @@ __all__ = ["Replica", "RegisterState"]
 
 #: Bound on the per-coordinator duplicate-reply cache.
 _REPLY_CACHE_LIMIT = 64
+
+#: Compact a register's journal once it holds more than
+#: ``max(_JOURNAL_MIN, _JOURNAL_FACTOR * len(log))`` records.
+_JOURNAL_MIN = 32
+_JOURNAL_FACTOR = 4
 
 
 class RegisterState:
@@ -76,16 +89,29 @@ class Replica:
             latency in δ units; non-zero values let the latency
             benchmarks study disk-bound regimes (replies are delayed by
             the request's accumulated disk time).
+        persistence: ``"journal"`` (default) persists O(1) delta
+            records per log mutation and replays them on recovery, with
+            compaction once the journal outgrows the live log;
+            ``"full"`` re-stores the whole serialized log per mutation
+            (the seed behaviour, kept as the benchmark baseline).  Both
+            paths yield bit-for-bit identical recovered state.
     """
 
     def __init__(self, node: Node, code: ErasureCode, process_index: int,
                  disk_read_latency: float = 0.0,
-                 disk_write_latency: float = 0.0) -> None:
+                 disk_write_latency: float = 0.0,
+                 persistence: str = "journal") -> None:
+        if persistence not in ("journal", "full"):
+            raise ConfigurationError(
+                f"unknown persistence mode {persistence!r}; "
+                "want 'journal' or 'full'"
+            )
         self.node = node
         self.code = code
         self.i = process_index
         self.disk_read_latency = disk_read_latency
         self.disk_write_latency = disk_write_latency
+        self.persistence = persistence
         self._busy = 0.0
         self._registers: Dict[int, RegisterState] = {}
         self._reply_cache: Dict[Tuple[ProcessId, int], object] = {}
@@ -110,17 +136,27 @@ class Replica:
     def _log_key(self, register_id: int) -> str:
         return f"log:{register_id}"
 
+    def _journal_key(self, register_id: int) -> str:
+        return f"logj:{register_id}"
+
     def _ord_key(self, register_id: int) -> str:
         return f"ordts:{register_id}"
 
     def _load(self, register_id: int) -> RegisterState:
-        stored_log = self.node.stable.load(self._log_key(register_id))
-        stored_ord = self.node.stable.load(self._ord_key(register_id), LOW_TS)
-        log = (
-            ReplicaLog.from_state(stored_log)
-            if stored_log is not None
-            else ReplicaLog()
-        )
+        stable = self.node.stable
+        stored_ord = stable.load(self._ord_key(register_id), LOW_TS)
+        log: Optional[ReplicaLog] = None
+        if self.persistence == "journal":
+            records = stable.load_journal(self._journal_key(register_id))
+            if records:
+                log = replay_journal(records)
+        if log is None:
+            stored_log = stable.load(self._log_key(register_id))
+            log = (
+                ReplicaLog.from_state(stored_log)
+                if stored_log is not None
+                else ReplicaLog()
+            )
         return RegisterState(log=log, ord_ts=stored_ord)
 
     def _reload(self) -> None:
@@ -134,7 +170,36 @@ class Replica:
         self.node.stable.store(self._ord_key(register_id), state.ord_ts)
 
     def _store_log(self, register_id: int, state: RegisterState) -> None:
+        """Persist the full serialized log (the seed's only path)."""
         self.node.stable.store(self._log_key(register_id), state.log.to_state())
+
+    def persist_append(self, register_id: int, state: RegisterState,
+                       ts: Timestamp, block: object) -> None:
+        """Persist one ``log.append(ts, block)`` that was just applied."""
+        if self.persistence == "journal":
+            self.node.stable.append(
+                self._journal_key(register_id), append_record(ts, block)
+            )
+        else:
+            self._store_log(register_id, state)
+
+    def persist_trim(self, register_id: int, state: RegisterState,
+                     ts: Timestamp) -> None:
+        """Persist one ``log.trim_below(ts)`` that was just applied.
+
+        On the journal path this is also the compaction hook: trims are
+        when the journal outgrows the live log, so GC triggers a base
+        snapshot that resets the journal to O(len(log)).
+        """
+        if self.persistence == "journal":
+            key = self._journal_key(register_id)
+            stable = self.node.stable
+            stable.append(key, trim_record(ts))
+            threshold = max(_JOURNAL_MIN, _JOURNAL_FACTOR * len(state.log))
+            if stable.journal_len(key) > threshold:
+                stable.reset_journal(key, (snapshot_record(state.log),))
+        else:
+            self._store_log(register_id, state)
 
     # -- duplicate suppression -------------------------------------------------
 
@@ -261,7 +326,7 @@ class Replica:
         status = req.ts > state.log.max_ts() and req.ts >= state.ord_ts
         if status:
             state.log.append(req.ts, req.block)
-            self._store_log(req.register_id, state)
+            self.persist_append(req.register_id, state, req.ts, req.block)
             if req.block is not None:
                 self._disk_write()
         reply = WriteReply(
@@ -308,7 +373,7 @@ class Replica:
                 block = BOTTOM
         if status:
             state.log.append(req.ts, block)
-            self._store_log(req.register_id, state)
+            self.persist_append(req.register_id, state, req.ts, block)
             if isinstance(block, (bytes, bytearray)):
                 self._disk_write()
         reply = ModifyReply(
@@ -321,4 +386,4 @@ class Replica:
         state = self.state(req.register_id)
         removed = state.log.trim_below(req.ts)
         if removed:
-            self._store_log(req.register_id, state)
+            self.persist_trim(req.register_id, state, req.ts)

@@ -1,0 +1,264 @@
+"""Structural-sharing value freezing for the copy-on-write stable store.
+
+The seed implementation of :class:`~repro.sim.node.StableStore` deep-copied
+every value on every ``store`` *and* ``load`` to guard against aliasing
+(mutating an in-memory value must never retroactively change "disk").
+That guard is correct but O(value) in Python-object churn on the hottest
+path in the simulator: every replica log mutation persists the whole log.
+
+This module provides the cheap equivalent:
+
+* :func:`freeze` converts a value into an immutable *snapshot*.  Known
+  immutable types (``bytes``, ``str``, numbers, :class:`Timestamp`,
+  registered sentinels like the log's ``⊥``) are shared by reference —
+  zero copies.  Containers are rebuilt once into immutable frozen forms
+  whose elements are themselves frozen.  Unknown mutable types fall back
+  to a pickle round-trip, preserving the old semantics.
+* :func:`thaw` reconstructs a fresh, mutation-safe value from a snapshot.
+  Because snapshot internals are immutable, a thawed container is a
+  shallow rebuild — mutating it (or its thawed children) cannot reach
+  the snapshot.
+
+``freeze`` also returns an approximate persisted size and the number of
+payload bytes that were *physically copied* (buffer duplication or
+pickling), which the stable store aggregates into the ``size_bytes`` /
+``bytes_copied`` counters used by the simcore benchmark.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Tuple
+
+from ..timestamps import Timestamp
+
+__all__ = [
+    "freeze",
+    "thaw",
+    "estimate_size",
+    "register_immutable",
+]
+
+#: Types shared by reference on freeze: immutable, and immutable all the
+#: way down.  (Tuples/frozensets are handled structurally because they may
+#: contain mutable elements.)
+_ATOM_TYPES = {
+    type(None): 4,
+    bool: 4,
+    int: 12,
+    float: 16,
+    complex: 24,
+    str: None,  # sized by length
+    bytes: None,  # sized by length
+    Timestamp: 48,
+}
+
+#: Extra immutable leaf types registered by other layers (e.g. the
+#: replica log registers its ⊥ sentinel).  Maps type -> size estimate.
+_REGISTERED: dict = {}
+
+_BYTES_OVERHEAD = 33  # approximate pickle overhead for a bytes object
+_CONTAINER_OVERHEAD = 8
+
+
+def register_immutable(tp: type, size: int = 8) -> None:
+    """Declare ``tp`` instances immutable leaves for :func:`freeze`.
+
+    Instances pass through freeze/thaw by reference (identity is
+    preserved — required for sentinel values compared with ``is``).
+    """
+    _REGISTERED[tp] = size
+
+
+class _FrozenTuple:
+    """A tuple whose elements needed freezing."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items: tuple) -> None:
+        self.items = items
+
+
+class _FrozenList:
+    """Snapshot of a ``list``: an immutable tuple of frozen elements."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items: tuple) -> None:
+        self.items = items
+
+
+class _FrozenDict:
+    """Snapshot of a ``dict``: a tuple of (key, frozen-value) pairs."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items: tuple) -> None:
+        self.items = items
+
+
+class _FrozenSet:
+    """Snapshot of a ``set`` of immutable elements."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items: frozenset) -> None:
+        self.items = items
+
+
+class _FrozenByteArray:
+    """Snapshot of a ``bytearray`` (content copied once into bytes)."""
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+
+
+class _FrozenPickle:
+    """Fallback snapshot for unknown types: a pickle blob."""
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+
+
+def _atom_size(value: Any, base: Any) -> int:
+    if base is None:  # str / bytes: sized by content
+        return len(value) + _BYTES_OVERHEAD
+    return base
+
+
+def freeze(value: Any) -> Tuple[Any, int, int]:
+    """Snapshot ``value``; returns ``(frozen, size_estimate, bytes_copied)``.
+
+    ``frozen`` shares immutable structure with ``value`` wherever
+    possible; later mutation of ``value`` cannot affect it.
+    """
+    tp = type(value)
+    base = _ATOM_TYPES.get(tp)
+    if base is not None or tp in (str, bytes):
+        return value, _atom_size(value, base), 0
+    reg = _REGISTERED.get(tp)
+    if reg is not None:
+        return value, reg, 0
+    if tp is tuple:
+        frozen_items = []
+        size = _CONTAINER_OVERHEAD
+        copied = 0
+        unchanged = True
+        for item in value:
+            frozen, item_size, item_copied = freeze(item)
+            if frozen is not item:
+                unchanged = False
+            frozen_items.append(frozen)
+            size += item_size
+            copied += item_copied
+        if unchanged:
+            return value, size, copied
+        return _FrozenTuple(tuple(frozen_items)), size, copied
+    if tp is list:
+        frozen_items = []
+        size = _CONTAINER_OVERHEAD
+        copied = 0
+        for item in value:
+            frozen, item_size, item_copied = freeze(item)
+            frozen_items.append(frozen)
+            size += item_size
+            copied += item_copied
+        return _FrozenList(tuple(frozen_items)), size, copied
+    if tp is dict:
+        pairs = []
+        size = _CONTAINER_OVERHEAD
+        copied = 0
+        simple_keys = True
+        for key, item in value.items():
+            frozen_key, key_size, key_copied = freeze(key)
+            if frozen_key is not key:
+                # Keys must stay hashable-by-value; a mutable key means
+                # the dict as a whole takes the pickle fallback.
+                simple_keys = False
+                break
+            frozen_val, val_size, val_copied = freeze(item)
+            pairs.append((frozen_key, frozen_val))
+            size += key_size + val_size
+            copied += key_copied + val_copied
+        if simple_keys:
+            return _FrozenDict(tuple(pairs)), size, copied
+    if tp is bytearray:
+        data = bytes(value)
+        return _FrozenByteArray(data), len(data) + _BYTES_OVERHEAD, len(data)
+    if tp in (set, frozenset):
+        frozen_items = []
+        size = _CONTAINER_OVERHEAD
+        copied = 0
+        all_hashable = True
+        for item in value:
+            frozen, item_size, item_copied = freeze(item)
+            if frozen is not item:
+                # A frozen wrapper is unhashable; fall back below.
+                all_hashable = False
+                break
+            frozen_items.append(frozen)
+            size += item_size
+            copied += item_copied
+        if all_hashable:
+            snapshot = frozenset(frozen_items)
+            if tp is frozenset:
+                return snapshot, size, 0
+            return _FrozenSet(snapshot), size, copied
+    # Unknown (or unhashable-element) type: pickle round-trip fallback.
+    data = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    return _FrozenPickle(data), len(data), len(data)
+
+
+def thaw(frozen: Any) -> Any:
+    """Rebuild a fresh value from a :func:`freeze` snapshot.
+
+    The result is detached: mutating it can never reach the snapshot,
+    because every shared object is immutable.
+    """
+    tp = type(frozen)
+    if tp is _FrozenList:
+        return [thaw(item) for item in frozen.items]
+    if tp is _FrozenTuple:
+        return tuple(thaw(item) for item in frozen.items)
+    if tp is _FrozenDict:
+        return {thaw(key): thaw(value) for key, value in frozen.items}
+    if tp is _FrozenSet:
+        return set(frozen.items)
+    if tp is _FrozenByteArray:
+        return bytearray(frozen.data)
+    if tp is _FrozenPickle:
+        return pickle.loads(frozen.data)
+    if tp is tuple:
+        thawed = [thaw(item) for item in frozen]
+        if all(new is old for new, old in zip(thawed, frozen)):
+            return frozen
+        return tuple(thawed)
+    return frozen
+
+
+def estimate_size(value: Any) -> int:
+    """Approximate persisted size of ``value`` without copying it."""
+    tp = type(value)
+    base = _ATOM_TYPES.get(tp)
+    if base is not None or tp in (str, bytes):
+        return _atom_size(value, base)
+    reg = _REGISTERED.get(tp)
+    if reg is not None:
+        return reg
+    if tp in (tuple, list, set, frozenset):
+        return _CONTAINER_OVERHEAD + sum(estimate_size(item) for item in value)
+    if tp is dict:
+        return _CONTAINER_OVERHEAD + sum(
+            estimate_size(key) + estimate_size(item)
+            for key, item in value.items()
+        )
+    if tp is bytearray:
+        return len(value) + _BYTES_OVERHEAD
+    try:
+        return len(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return 64

@@ -59,7 +59,20 @@ class Event:
     Events are created untriggered; :meth:`succeed` or :meth:`fail`
     triggers them exactly once, after which waiting processes resume in
     the order they registered.
+
+    Event records are ``__slots__``-based: the kernel allocates one per
+    message delivery, timeout, and process step, so avoiding a
+    ``__dict__`` per instance measurably cuts simulator overhead.
     """
+
+    __slots__ = (
+        "env",
+        "callbacks",
+        "_value",
+        "_failed",
+        "_processed",
+        "_defused",
+    )
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -127,6 +140,8 @@ class Event:
 class Timeout(Event):
     """An event that triggers after a fixed simulated delay."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
@@ -138,6 +153,8 @@ class Timeout(Event):
 
 class _ConditionEvent(Event):
     """Base for AllOf / AnyOf composite events."""
+
+    __slots__ = ("_events", "_pending")
 
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env)
@@ -163,6 +180,8 @@ class AllOf(_ConditionEvent):
     exception.
     """
 
+    __slots__ = ()
+
     def _on_child(self, event: Event) -> None:
         if self._scheduled:
             return
@@ -182,6 +201,8 @@ class AnyOf(_ConditionEvent):
     the first child to trigger failed.
     """
 
+    __slots__ = ()
+
     def _on_child(self, event: Event) -> None:
         if self._scheduled:
             return
@@ -199,6 +220,8 @@ class Process(Event):
     returns (with the return value) or raises (failed).  Yielding a
     process therefore waits for its completion.
     """
+
+    __slots__ = ("_generator", "_waiting_on", "_interrupt_pending")
 
     def __init__(self, env: "Environment", generator: Generator) -> None:
         super().__init__(env)
@@ -328,11 +351,17 @@ class Environment:
         self._now = 0.0
         self._queue: List = []  # heap of (time, seq, callback-ish)
         self._seq = 0
+        self._events_processed = 0
 
     @property
     def now(self) -> float:
         """Current simulated time."""
         return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Kernel events processed so far — the simcore bench's events/sec."""
+        return self._events_processed
 
     # -- event constructors --------------------------------------------
 
@@ -387,6 +416,7 @@ class Environment:
         if time < self._now:
             raise SimulationError("event scheduled in the past")
         self._now = time
+        self._events_processed += 1
         event._processed = True
         callbacks = event.callbacks
         event.callbacks = None

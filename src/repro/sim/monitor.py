@@ -10,6 +10,7 @@ operation and per fast/slow path.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -112,16 +113,26 @@ class Metrics:
     :meth:`count_disk_read`, and :meth:`count_disk_write`; whatever
     operation context is current absorbs the counts in addition to the
     global totals.
+
+    Counters are always on and O(1) per event; the *history* of
+    per-operation records is what can grow without bound over long
+    runs.  ``history_limit`` bounds it (keeping the most recent
+    records) so 10k+-op benchmark runs keep metric memory flat; the
+    scalar totals are unaffected.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, history_limit: Optional[int] = None) -> None:
         self.total_messages = 0
         self.total_bytes = 0
         self.total_disk_reads = 0
         self.total_disk_writes = 0
         self.dropped_messages = 0
         self.total_retransmissions = 0
-        self.operations: List[OpMetrics] = []
+        self.ops_started = 0
+        self.ops_finished = 0
+        self.operations: "List[OpMetrics]" = (
+            deque(maxlen=history_limit) if history_limit is not None else []
+        )  # type: ignore[assignment]
         self.sessions: List[SessionStats] = []
         self._current: Optional[OpMetrics] = None
 
@@ -130,6 +141,7 @@ class Metrics:
     def begin_op(self, kind: str, now: float) -> OpMetrics:
         """Open a per-operation context; returns its counter object."""
         op = OpMetrics(kind=kind, started_at=now)
+        self.ops_started += 1
         self.operations.append(op)
         self._current = op
         return op
@@ -138,6 +150,7 @@ class Metrics:
         """Close an operation context."""
         op.finished_at = now
         op.aborted = aborted
+        self.ops_finished += 1
         if self._current is op:
             self._current = None
 

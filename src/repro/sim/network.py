@@ -15,11 +15,11 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional, Set
+from typing import Any, Callable, Dict, List, Optional, Set
 
 from ..errors import ConfigurationError, SimulationError
 from ..types import ProcessId
-from .kernel import Environment
+from .kernel import Environment, Event
 from .monitor import Metrics
 
 __all__ = ["NetworkConfig", "Message", "Network"]
@@ -68,9 +68,10 @@ class NetworkConfig:
         return self.max_latency
 
 
-@dataclass(frozen=True)
 class Message:
     """A network message.
+
+    ``__slots__``-based (one is allocated per send on the hot path).
 
     Attributes:
         src / dst: endpoint process ids.
@@ -78,10 +79,49 @@ class Message:
         size: payload size in bytes for bandwidth accounting.
     """
 
-    src: ProcessId
-    dst: ProcessId
-    payload: Any
-    size: int = 0
+    __slots__ = ("src", "dst", "payload", "size")
+
+    def __init__(
+        self, src: ProcessId, dst: ProcessId, payload: Any, size: int = 0
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.size = size
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Message):
+            return NotImplemented
+        return (
+            self.src == other.src
+            and self.dst == other.dst
+            and self.payload == other.payload
+            and self.size == other.size
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Message(src={self.src!r}, dst={self.dst!r}, "
+            f"payload={self.payload!r}, size={self.size!r})"
+        )
+
+
+class _Delivery(Event):
+    """A scheduled message delivery.
+
+    Replaces the seed's per-message ``Timeout`` + closure pair with a
+    single slotted event whose callback is the network's bound
+    ``_on_delivery`` — one allocation and one heap push per message.
+    """
+
+    __slots__ = ("message",)
+
+    def __init__(self, network: "Network", message: Message, delay: float) -> None:
+        super().__init__(network.env)
+        self.message = message
+        self._value = None
+        network.env._schedule(self, delay)
+        self.callbacks.append(network._on_delivery)
 
 
 class Network:
@@ -106,6 +146,26 @@ class Network:
         self._endpoints: Dict[ProcessId, Callable[[Message], None]] = {}
         self._partitions: Set[frozenset] = set()
         self._down: Set[ProcessId] = set()
+        self._send_observers: List[Callable[[Message], None]] = []
+
+    # -- observation -------------------------------------------------------
+
+    def add_send_observer(self, observer: Callable[[Message], None]) -> None:
+        """Attach a per-send observer (e.g. a message tracer).
+
+        The default path pays nothing for observation: only when an
+        observer is attached does the network construct per-message
+        trace records.  Observers see every send attempt, including
+        messages the network later drops.
+        """
+        self._send_observers.append(observer)
+
+    def remove_send_observer(self, observer: Callable[[Message], None]) -> None:
+        """Detach a previously attached observer (no-op if absent)."""
+        try:
+            self._send_observers.remove(observer)
+        except ValueError:
+            pass
 
     # -- membership ------------------------------------------------------
 
@@ -164,7 +224,10 @@ class Network:
         behaves like any other pair — the paper makes no locality
         assumption.
         """
-        message = Message(src=src, dst=dst, payload=payload, size=size)
+        message = Message(src, dst, payload, size)
+        if self._send_observers:
+            for observer in self._send_observers:
+                observer(message)
         self.metrics.count_message(size)
         if src in self._down or dst in self._down:
             self.metrics.count_drop()
@@ -189,8 +252,10 @@ class Network:
         latency = self._rng.uniform(
             self.config.min_latency, self.config.max_latency
         )
-        timer = self.env.timeout(latency)
-        timer._add_callback(lambda _event: self._deliver(message))
+        _Delivery(self, message, latency)
+
+    def _on_delivery(self, event: Event) -> None:
+        self._deliver(event.message)
 
     def _deliver(self, message: Message) -> None:
         # Re-check state at delivery time: the destination may have

@@ -57,26 +57,25 @@ class MessageTracer:
     def __init__(self, network: Network, capacity: int = 10_000) -> None:
         self.entries: Deque[TraceEntry] = deque(maxlen=capacity)
         self._network = network
-        self._original_send = network.send
-        network.send = self._traced_send  # type: ignore[assignment]
+        network.add_send_observer(self._on_send)
 
-    def _traced_send(self, src, dst, payload, size=0):
+    def _on_send(self, message) -> None:
+        payload = message.payload
         self.entries.append(
             TraceEntry(
                 time=self._network.env.now,
-                src=src,
-                dst=dst,
+                src=message.src,
+                dst=message.dst,
                 payload_type=type(payload).__name__,
                 register_id=getattr(payload, "register_id", None),
                 request_id=getattr(payload, "request_id", None),
-                size=size,
+                size=message.size,
             )
         )
-        self._original_send(src, dst, payload, size)
 
     def uninstall(self) -> None:
-        """Stop tracing; restores the network's original send path."""
-        self._network.send = self._original_send  # type: ignore[assignment]
+        """Stop tracing; the network's send path pays nothing again."""
+        self._network.remove_send_observer(self._on_send)
 
     # -- queries -----------------------------------------------------------
 

@@ -51,6 +51,106 @@ class TestStableStore:
         store.store("b", b"y" * 1000)
         assert store.size_bytes() > small
 
+    def test_size_bytes_tracks_overwrites(self):
+        store = StableStore()
+        store.store("a", b"x" * 1000)
+        big = store.size_bytes()
+        store.store("a", b"x" * 10)
+        assert store.size_bytes() < big
+
+    def test_unknown_mode_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            StableStore(mode="magnetic-tape")
+
+
+@pytest.mark.parametrize("mode", ["cow", "deepcopy"])
+class TestStableStoreAliasing:
+    """Stored values must be detached from live memory in both modes."""
+
+    def test_mutating_after_store_does_not_change_disk(self, mode):
+        store = StableStore(mode=mode)
+        block = bytearray(b"v1" * 16)
+        state = [(1, block), (2, None)]
+        store.store("log:0", state)
+        block[:2] = b"XX"
+        state.append((3, b"late"))
+        assert store.load("log:0") == [(1, bytearray(b"v1" * 16)), (2, None)]
+
+    def test_mutating_after_load_does_not_change_disk(self, mode):
+        store = StableStore(mode=mode)
+        store.store("log:0", [(1, bytearray(b"abc"))])
+        loaded = store.load("log:0")
+        loaded[0][1][0:1] = b"Z"
+        loaded.append((9, b"junk"))
+        assert store.load("log:0") == [(1, bytearray(b"abc"))]
+
+    def test_post_crash_recovery_observes_stored_snapshot(self, mode):
+        """The satellite regression: mutation after store()/load() must
+        not change what a post-crash recover() observes."""
+        env = Environment()
+        network = Network(env, NetworkConfig())
+        node = Node(env, network, 1, store_mode=mode)
+        block = bytearray(b"durable!")
+        node.stable.store("log:7", [(5, block)])
+        leaked = node.stable.load("log:7")
+        block[:] = b"mutated!"          # after store()
+        leaked[0][1][:] = b"mutated!"   # after load()
+        node.crash()
+        node.recover()
+        assert node.stable.load("log:7") == [(5, bytearray(b"durable!"))]
+
+    def test_journal_records_are_detached(self, mode):
+        store = StableStore(mode=mode)
+        record = ["a", 1, bytearray(b"block")]
+        store.append("logj:0", record)
+        record[2][:] = b"XXXXX"
+        record.append("extra")
+        replayed = store.load_journal("logj:0")
+        assert replayed == [["a", 1, bytearray(b"block")]]
+        replayed[0][2][:] = b"YYYYY"
+        assert store.load_journal("logj:0") == [["a", 1, bytearray(b"block")]]
+
+
+class TestStableStoreCounters:
+    def test_counters_count(self):
+        store = StableStore()
+        store.store("a", b"x")
+        store.load("a")
+        store.load("a")
+        assert store.store_count == 1
+        assert store.load_count == 2
+
+    def test_cow_shares_immutable_payloads(self):
+        """bytes blocks and atom tuples are snapshotted without copying."""
+        store = StableStore(mode="cow")
+        store.store("block", b"x" * 4096)
+        store.store("state", [(1, b"y" * 4096), (2, None)])
+        store.load("block")
+        store.load("state")
+        assert store.bytes_copied == 0
+
+    def test_deepcopy_pays_per_access(self):
+        store = StableStore(mode="deepcopy")
+        store.store("block", [b"x" * 4096])
+        first = store.bytes_copied
+        assert first >= 4096
+        store.load("block")
+        assert store.bytes_copied >= 2 * 4096
+
+    def test_journal_append_is_incremental(self):
+        """Appending to a journal accounts only the new record's size."""
+        store = StableStore(mode="cow")
+        store.append("logj:0", ("a", 1, b"x" * 1024))
+        one = store.size_bytes()
+        store.append("logj:0", ("a", 2, b"x" * 1024))
+        two = store.size_bytes()
+        assert one < two <= 2 * one + 64
+        store.reset_journal("logj:0", [("s", (1, b"x" * 1024))])
+        assert store.size_bytes() < two
+        assert store.journal_len("logj:0") == 1
+
 
 class TestNodeLifecycle:
     def test_starts_up(self):
@@ -181,6 +281,22 @@ class TestProcessOwnership:
 
         with pytest.raises(StorageError):
             node.spawn(task())
+
+    def test_owned_processes_stay_bounded(self):
+        """The satellite regression: a 10k-op run must not accumulate
+        finished processes — each is reaped on completion, so the list
+        stays bounded by genuine concurrency, not run length."""
+        env, _network, node = make_node()
+
+        def task():
+            yield env.timeout(1)
+
+        for _batch in range(100):
+            for _ in range(100):
+                node.spawn(task())
+            assert len(node._owned_processes) == 100  # only this batch
+            env.run()
+            assert node._owned_processes == []  # reaped on completion
 
     def test_recovery_does_not_revive_processes(self):
         env, _network, node = make_node()

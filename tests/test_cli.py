@@ -45,6 +45,24 @@ class TestCli:
         assert "scripted coordinator crash" in out
         assert "throughput vs max_inflight" in out_file.read_text()
 
+    def test_simcore(self, capsys, tmp_path):
+        import json
+
+        json_file = tmp_path / "simcore.json"
+        out_file = tmp_path / "simcore.txt"
+        assert main([
+            "simcore", "--pairs", "2,4", "--ops", "40",
+            "--json", str(json_file), "--out", str(out_file),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Simulator-core profile" in out
+        assert "fast-vs-seed ops/sec speedup" in out
+        payload = json.loads(json_file.read_text())
+        assert payload["benchmark"] == "simcore"
+        assert {case["path"] for case in payload["cases"]} == {"seed", "fast"}
+        assert "(2,4)x40" in payload["speedup_fast_over_seed"]
+        assert "Simulator-core profile" in out_file.read_text()
+
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
@@ -54,5 +72,6 @@ class TestCli:
         help_text = parser.format_help()
         for command in (
             "figure2", "figure3", "table1", "demo", "scrub", "pipeline",
+            "simcore",
         ):
             assert command in help_text
