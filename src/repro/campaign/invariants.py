@@ -1,0 +1,174 @@
+"""Online invariant checking for fault campaigns.
+
+Four invariants, checked *while the campaign runs* (not as a post-hoc
+log analysis):
+
+1. **Quorum-intersection preconditions** — the configuration must
+   satisfy Theorem 2: ``n >= 2f + m``, equivalently any two quorums of
+   size ``n - f`` intersect in at least ``m`` processes.  Checked once
+   at campaign start; a deliberately broken configuration fails here at
+   ``t = 0``.
+2. **Recovery equivalence** — at every crash the monitor snapshots each
+   register's persistent image (``ord-ts`` + the serialized log) from
+   the replica's volatile mirror, which the ``store(var)`` discipline
+   guarantees matches stable storage; after the matching recovery the
+   freshly reloaded state must compare bit-for-bit equal.  This is the
+   log/journal persistence paths' "both yield identical recovered
+   state" contract, enforced under real crash schedules.
+3. **Timestamp monotonicity** — per (replica, register), the observed
+   ``ord-ts`` and ``max-ts(log)`` never decrease across samples (taken
+   after every fault event and on a periodic timer).  Stable storage
+   plus the handlers' guards make these high-water marks; a decrease
+   means lost persistent state.
+4. **Strict linearizability** — at campaign end the recorded history of
+   every register is projected per block and checked against
+   Definition 5 via :mod:`repro.verify`.
+
+Violations are collected, never raised: a campaign run always completes
+and reports, so the shrinker can re-run reduced schedules mechanically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core.cluster import FabCluster
+from ..verify.linearizability import check_strict_linearizability
+
+__all__ = ["Violation", "CampaignMonitor"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One observed invariant violation."""
+
+    invariant: str  # quorum-precondition | recovery-equivalence |
+    #                 timestamp-monotonicity | linearizability
+    time: float  # simulated time of detection
+    detail: str
+
+    def to_dict(self) -> Dict:
+        return {
+            "invariant": self.invariant,
+            "time": self.time,
+            "detail": self.detail,
+        }
+
+
+class CampaignMonitor:
+    """Watches one cluster for invariant violations during a campaign."""
+
+    def __init__(self, cluster: FabCluster) -> None:
+        self.cluster = cluster
+        self.violations: List[Violation] = []
+        self.recoveries_checked = 0
+        self.samples_taken = 0
+        # (pid, register_id) -> (ord_ts, max_ts) high-water marks.
+        self._ts_marks: Dict[Tuple[int, int], Tuple] = {}
+        # pid -> {register_id: (ord_ts, serialized log)} at last crash.
+        self._crash_images: Dict[int, Dict[int, Tuple]] = {}
+        self._check_quorum_preconditions()
+        for pid, node in cluster.nodes.items():
+            node.on_crash(lambda p=pid: self._snapshot_at_crash(p))
+            # Registered after Replica's _reload hook, so by the time
+            # this runs the replica serves freshly reloaded state.
+            node.on_recovery(lambda p=pid: self._check_recovery(p))
+
+    def _record(self, invariant: str, detail: str) -> None:
+        self.violations.append(
+            Violation(
+                invariant=invariant,
+                time=self.cluster.env.now,
+                detail=detail,
+            )
+        )
+
+    # -- invariant 1: quorum preconditions ---------------------------------
+
+    def _check_quorum_preconditions(self) -> None:
+        qs = self.cluster.quorum_system
+        n, m, f = qs.n, qs.m, qs.f
+        if n < 2 * f + m:
+            self._record(
+                "quorum-precondition",
+                f"n={n} < 2f+m={2 * f + m}: Theorem 2 violated, f={f} "
+                f"exceeds floor((n-m)/2)={(n - m) // 2}",
+            )
+        intersection = 2 * qs.quorum_size - n
+        if intersection < m:
+            self._record(
+                "quorum-precondition",
+                f"two quorums of size {qs.quorum_size} can intersect in "
+                f"only {intersection} < m={m} processes",
+            )
+
+    # -- invariant 2: recovery equivalence ---------------------------------
+
+    def _register_image(self, pid: int, register_id: int) -> Tuple:
+        state = self.cluster.replicas[pid].state(register_id)
+        return (state.ord_ts, tuple(state.log.to_state()))
+
+    def _snapshot_at_crash(self, pid: int) -> None:
+        replica = self.cluster.replicas[pid]
+        self._crash_images[pid] = {
+            register_id: self._register_image(pid, register_id)
+            for register_id in replica.register_ids()
+        }
+
+    def _check_recovery(self, pid: int) -> None:
+        images = self._crash_images.pop(pid, None)
+        if images is None:
+            return
+        self.recoveries_checked += 1
+        for register_id, before in images.items():
+            after = self._register_image(pid, register_id)
+            if after != before:
+                self._record(
+                    "recovery-equivalence",
+                    f"brick {pid} register {register_id}: reloaded state "
+                    f"differs from pre-crash persistent image "
+                    f"(before={before!r}, after={after!r})",
+                )
+
+    # -- invariant 3: timestamp monotonicity -------------------------------
+
+    def sample(self) -> None:
+        """Record one observation of every live replica's timestamps."""
+        self.samples_taken += 1
+        for pid, replica in self.cluster.replicas.items():
+            if not replica.node.is_up:
+                continue
+            for register_id in replica.register_ids():
+                state = replica.state(register_id)
+                current = (state.ord_ts, state.log.max_ts())
+                mark = self._ts_marks.get((pid, register_id))
+                if mark is not None and (
+                    current[0] < mark[0] or current[1] < mark[1]
+                ):
+                    self._record(
+                        "timestamp-monotonicity",
+                        f"brick {pid} register {register_id}: observed "
+                        f"(ord_ts, max_ts) went from {mark!r} to "
+                        f"{current!r}",
+                    )
+                self._ts_marks[(pid, register_id)] = current
+
+    # -- invariant 4: strict linearizability -------------------------------
+
+    def check_history(self, register_id: int, recorder, m: int) -> int:
+        """Check one register's completed history; returns blocks checked."""
+        recorder.close()
+        checked = 0
+        for index in recorder.block_indices(m):
+            result = check_strict_linearizability(
+                recorder.per_block_history(index)
+            )
+            checked += 1
+            if not result.ok:
+                for violation in result.violations:
+                    self._record(
+                        "linearizability",
+                        f"register {register_id} block {index}: {violation}",
+                    )
+        return checked

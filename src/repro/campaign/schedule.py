@@ -1,0 +1,225 @@
+"""Seeded fault schedules: explicit, serializable, shrinkable.
+
+A campaign never improvises faults at run time.  Every crash, recovery,
+partition, heal, and message-drop window is generated *up front* from
+the campaign seed into a :class:`CampaignSchedule` — a flat list of
+:class:`FaultEvent` — and then applied by timers against the cluster.
+That makes three things possible:
+
+* determinism: the same seed always yields the same schedule, and the
+  same schedule always yields the same run;
+* serialization: a schedule (the whole failure pattern) round-trips
+  through JSON, so a violating run's artifact *is* its reproducer;
+* shrinking: the delta-debugging shrinker re-runs the campaign with
+  subsets of the event list — only possible because the events are
+  explicit data, not callbacks buried in an injector.
+
+Paired events (crash/recover, partition/heal, drop window start/stop)
+are generated so that everything injected is also withdrawn by the end
+of the schedule: no node stays down, no partition stays installed, and
+the drop probability returns to baseline before the drain phase.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+__all__ = ["FaultEvent", "CampaignSchedule", "generate_schedule"]
+
+#: Recognized fault-event kinds.
+KINDS = ("crash", "recover", "partition", "heal", "drop_start", "drop_stop")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault action.
+
+    Attributes:
+        time: simulated time the event fires.
+        kind: one of :data:`KINDS`.
+        targets: process ids the event acts on — the crashed/recovered
+            node, or the minority group a partition cuts off.  Empty for
+            ``heal`` (heals everything) and drop-window events.
+        value: the drop probability for ``drop_start``; unused otherwise.
+    """
+
+    time: float
+    kind: str
+    targets: Tuple[int, ...] = ()
+    value: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; want one of {KINDS}"
+            )
+
+    def to_dict(self) -> Dict:
+        return {
+            "time": self.time,
+            "kind": self.kind,
+            "targets": list(self.targets),
+            "value": self.value,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FaultEvent":
+        return cls(
+            time=float(data["time"]),
+            kind=str(data["kind"]),
+            targets=tuple(int(t) for t in data.get("targets", ())),
+            value=float(data.get("value", 0.0)),
+        )
+
+
+@dataclass
+class CampaignSchedule:
+    """A complete failure pattern for one campaign run.
+
+    Attributes:
+        events: time-ordered fault events.
+        clock_skews: per-process clock skew (applied at cluster build —
+            skew is a static property of a run, not a timed event).
+        seed: the seed that generated this schedule (0 for hand-built
+            schedules; informational only).
+    """
+
+    events: List[FaultEvent] = field(default_factory=list)
+    clock_skews: Dict[int, float] = field(default_factory=dict)
+    seed: int = 0
+
+    def sorted_events(self) -> List[FaultEvent]:
+        """Events in application order (time, then list position)."""
+        return sorted(
+            self.events, key=lambda e: e.time
+        )  # sort is stable: same-time events keep list order
+
+    def to_dict(self) -> Dict:
+        return {
+            "seed": self.seed,
+            "clock_skews": {str(pid): s for pid, s in self.clock_skews.items()},
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CampaignSchedule":
+        return cls(
+            events=[FaultEvent.from_dict(e) for e in data.get("events", ())],
+            clock_skews={
+                int(pid): float(s)
+                for pid, s in data.get("clock_skews", {}).items()
+            },
+            seed=int(data.get("seed", 0)),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSchedule":
+        return cls.from_dict(json.loads(text))
+
+    def subset(self, events: Sequence[FaultEvent]) -> "CampaignSchedule":
+        """A copy of this schedule carrying only ``events`` (for shrinking)."""
+        return CampaignSchedule(
+            events=list(events),
+            clock_skews=dict(self.clock_skews),
+            seed=self.seed,
+        )
+
+
+def generate_schedule(
+    *,
+    seed: int,
+    n: int,
+    duration: float,
+    max_down: int,
+    crash_weight: float = 3.0,
+    partition_weight: float = 1.0,
+    drop_weight: float = 1.0,
+    event_gap: Tuple[float, float] = (10.0, 40.0),
+    down_time: Tuple[float, float] = (20.0, 60.0),
+    partition_time: Tuple[float, float] = (20.0, 50.0),
+    drop_time: Tuple[float, float] = (10.0, 30.0),
+    drop_max: float = 0.2,
+    max_clock_skew: float = 0.0,
+) -> CampaignSchedule:
+    """Generate a seeded fault schedule for ``n`` bricks.
+
+    Crash events respect ``max_down`` *at generation time* (never more
+    than ``max_down`` schedule-crashed nodes at once), partitions cut a
+    minority group of at most ``max_down`` bricks, and every injected
+    fault carries a matching withdrawal (recover / heal / drop_stop) no
+    later than ``duration``.  A zero or negative weight disables that
+    fault class entirely.
+    """
+    rng = random.Random(seed)
+    events: List[FaultEvent] = []
+    down_until: Dict[int, float] = {}  # pid -> scheduled recovery time
+    partition_open_until = 0.0
+    drop_open_until = 0.0
+
+    kinds: List[str] = []
+    weights: List[float] = []
+    for kind, weight in (
+        ("crash", crash_weight),
+        ("partition", partition_weight),
+        ("drop", drop_weight),
+    ):
+        if weight > 0:
+            kinds.append(kind)
+            weights.append(weight)
+
+    now = 0.0
+    while kinds:
+        now += rng.uniform(*event_gap)
+        if now >= duration:
+            break
+        # Forget completed recoveries so the cap frees up.
+        down_until = {p: t for p, t in down_until.items() if t > now}
+        kind = rng.choices(kinds, weights=weights, k=1)[0]
+        if kind == "crash":
+            candidates = [p for p in range(1, n + 1) if p not in down_until]
+            if len(down_until) >= max_down or not candidates:
+                continue
+            pid = rng.choice(candidates)
+            back = min(duration, now + rng.uniform(*down_time))
+            events.append(FaultEvent(time=now, kind="crash", targets=(pid,)))
+            events.append(FaultEvent(time=back, kind="recover", targets=(pid,)))
+            down_until[pid] = back
+        elif kind == "partition":
+            if now < partition_open_until or max_down < 1:
+                continue
+            size = rng.randint(1, max(1, max_down))
+            group = tuple(sorted(rng.sample(range(1, n + 1), size)))
+            heal_at = min(duration, now + rng.uniform(*partition_time))
+            events.append(
+                FaultEvent(time=now, kind="partition", targets=group)
+            )
+            events.append(FaultEvent(time=heal_at, kind="heal"))
+            partition_open_until = heal_at
+        else:  # drop window
+            if now < drop_open_until:
+                continue
+            stop_at = min(duration, now + rng.uniform(*drop_time))
+            events.append(
+                FaultEvent(
+                    time=now, kind="drop_start",
+                    value=round(rng.uniform(0.01, drop_max), 4),
+                )
+            )
+            events.append(FaultEvent(time=stop_at, kind="drop_stop"))
+            drop_open_until = stop_at
+
+    skews = {
+        pid: round(rng.uniform(-max_clock_skew, max_clock_skew), 6)
+        for pid in range(1, n + 1)
+    } if max_clock_skew > 0 else {}
+
+    events.sort(key=lambda e: e.time)
+    return CampaignSchedule(events=events, clock_skews=skews, seed=seed)

@@ -1,0 +1,102 @@
+"""Delta-debugging shrinker for violating fault schedules.
+
+When a campaign run reports a violation, the schedule that produced it
+may contain dozens of fault events, most of them irrelevant.  The
+shrinker runs the classic ddmin loop over the event list: repeatedly
+re-run the campaign (same seed, same config) with subsets of the
+events, keeping any subset that still violates, until no chunk can be
+removed.  Because campaign runs are deterministic functions of
+(config, schedule), "still violates" is a pure predicate and the
+minimized schedule is a standalone reproducer: feeding it back through
+:func:`~repro.campaign.engine.run_campaign` re-triggers the violation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from .engine import CampaignConfig, run_campaign
+from .schedule import CampaignSchedule, FaultEvent
+
+__all__ = ["ShrinkResult", "ddmin", "shrink_schedule"]
+
+
+@dataclass
+class ShrinkResult:
+    """A minimized reproducer and the cost of finding it."""
+
+    events: List[FaultEvent]
+    runs: int  # campaign re-runs spent shrinking
+    original_events: int
+
+    def to_dict(self) -> dict:
+        return {
+            "events": [event.to_dict() for event in self.events],
+            "runs": self.runs,
+            "original_events": self.original_events,
+        }
+
+
+def ddmin(
+    items: Sequence,
+    fails: Callable[[List], bool],
+) -> List:
+    """Minimize ``items`` to a 1-minimal sublist on which ``fails`` holds.
+
+    ``fails(items)`` must be True on entry.  The result still fails,
+    and removing any single remaining chunk at the final granularity
+    makes it pass — Zeller's ddmin over complements.
+    """
+    items = list(items)
+    if fails([]):
+        return []
+    granularity = 2
+    while len(items) >= 2:
+        chunk = max(1, len(items) // granularity)
+        reduced = False
+        start = 0
+        while start < len(items):
+            candidate = items[:start] + items[start + chunk:]
+            if candidate and fails(candidate):
+                items = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+            start += chunk
+        if not reduced:
+            if granularity >= len(items):
+                break
+            granularity = min(len(items), granularity * 2)
+    return items
+
+
+def shrink_schedule(
+    config: CampaignConfig,
+    schedule: CampaignSchedule,
+    max_runs: int = 200,
+) -> ShrinkResult:
+    """Minimize a violating schedule to a small reproducer.
+
+    Args:
+        config: the campaign configuration that violated.
+        schedule: the schedule it violated on.
+        max_runs: hard cap on campaign re-runs; when exhausted, the
+            best reduction found so far is returned.
+    """
+    runs = 0
+
+    def violates(events: List[FaultEvent]) -> bool:
+        nonlocal runs
+        if runs >= max_runs:
+            return False  # out of budget: treat as passing, stop shrinking
+        runs += 1
+        result = run_campaign(config, schedule=schedule.subset(events))
+        return not result.ok
+
+    minimized = ddmin(schedule.sorted_events(), violates)
+    return ShrinkResult(
+        events=minimized,
+        runs=runs,
+        original_events=len(schedule.events),
+    )

@@ -9,6 +9,7 @@ Regenerates the paper's artifacts without going through pytest::
     python -m repro.cli scrub --stripes 8      # scrub/rebuild walkthrough
     python -m repro.cli pipeline               # pipelined session throughput
     python -m repro.cli simcore                # simulator-core events/sec profile
+    python -m repro.cli campaign --seeds 25    # randomized fault campaign
 
 Each subcommand prints the same rows the corresponding benchmark writes
 to ``benchmarks/out/``.
@@ -200,6 +201,49 @@ def _simcore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from .analysis.campaign import render_report, run_suite, to_json
+    from .campaign.engine import CampaignConfig, broken_config
+
+    config = CampaignConfig(
+        m=args.m,
+        n=args.n,
+        f=args.f,
+        registers=args.registers,
+        clients=args.clients,
+        ops_per_client=args.ops,
+        duration=args.duration,
+        crash_weight=args.crash_weight,
+        partition_weight=args.partition_weight,
+        drop_weight=args.drop_weight,
+        max_clock_skew=args.max_skew,
+    )
+    if args.broken:
+        config = broken_config(config)
+    suite = run_suite(config, seeds=range(args.seeds))
+    report = render_report(suite)
+    print(report)
+    json_path = pathlib.Path(args.json_out)
+    json_path.parent.mkdir(parents=True, exist_ok=True)
+    json_path.write_text(to_json(suite) + "\n")
+    print(f"JSON artifact written to {json_path}")
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report)
+        print(f"report written to {args.out}")
+    if args.broken:
+        # Broken mode succeeds when the harness caught the unsound
+        # config and produced a small reproducer for every violation.
+        caught = bool(suite.violating) and all(
+            o.reproducer is not None and len(o.reproducer.events) <= 10
+            for o in suite.violating
+        )
+        return 0 if caught else 1
+    return 0 if suite.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -272,6 +316,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the report to this file",
     )
     simcore.set_defaults(func=_simcore)
+
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="randomized fault campaign with online invariant checks",
+    )
+    campaign.add_argument(
+        "--seeds", type=int, default=25,
+        help="number of seeds to sweep (0..N-1)",
+    )
+    campaign.add_argument("--n", type=int, default=5)
+    campaign.add_argument("--m", type=int, default=3)
+    campaign.add_argument(
+        "--f", type=int, default=None,
+        help="tolerated faults; default floor((n-m)/2)",
+    )
+    campaign.add_argument("--registers", type=int, default=4)
+    campaign.add_argument("--clients", type=int, default=3)
+    campaign.add_argument(
+        "--ops", type=int, default=30, help="operations per client"
+    )
+    campaign.add_argument("--duration", type=float, default=400.0)
+    campaign.add_argument("--crash-weight", type=float, default=3.0)
+    campaign.add_argument("--partition-weight", type=float, default=1.0)
+    campaign.add_argument("--drop-weight", type=float, default=1.0)
+    campaign.add_argument(
+        "--max-skew", type=float, default=0.0,
+        help="max per-brick clock skew (time units)",
+    )
+    campaign.add_argument(
+        "--broken", action="store_true",
+        help="run the deliberately unsound n < 2f + m configuration; "
+             "exit 0 iff the violation is caught and shrunk",
+    )
+    campaign.add_argument(
+        "--json", dest="json_out", type=str,
+        default="benchmarks/out/campaign.json",
+        help="path for the machine-readable JSON artifact",
+    )
+    campaign.add_argument(
+        "--out", type=str, default=None,
+        help="also write the text report to this file",
+    )
+    campaign.set_defaults(func=_campaign)
 
     return parser
 

@@ -68,6 +68,10 @@ class ClusterConfig:
             records (None = unlimited); long benchmark runs set a limit
             so metric history stays O(1) in run length.
         seed: master seed; node-level randomness derives from it.
+        allow_unsafe_f: permit ``f`` beyond the Theorem 2 bound
+            ``floor((n - m) / 2)`` — builds a quorum system whose
+            quorums intersect in fewer than ``m`` processes.  Only for
+            negative testing (the fault campaign's broken-config mode).
     """
 
     m: int = 3
@@ -84,6 +88,7 @@ class ClusterConfig:
     persistence: str = "journal"
     metrics_history_limit: Optional[int] = None
     seed: int = 0
+    allow_unsafe_f: bool = False
 
 
 class FabCluster:
@@ -98,7 +103,9 @@ class FabCluster:
         self.metrics = Metrics(history_limit=cfg.metrics_history_limit)
         self.network = Network(self.env, cfg.network, self.metrics)
         self.code = make_code(cfg.m, cfg.n, cfg.code_kind)
-        self.quorum_system = MajorityMQuorumSystem(cfg.n, cfg.m, cfg.f)
+        self.quorum_system = MajorityMQuorumSystem(
+            cfg.n, cfg.m, cfg.f, enforce_bound=not cfg.allow_unsafe_f
+        )
         self.nodes: Dict[ProcessId, Node] = {}
         self.replicas: Dict[ProcessId, Replica] = {}
         self.coordinators: Dict[ProcessId, Coordinator] = {}

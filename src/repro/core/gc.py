@@ -15,13 +15,13 @@ statistics used by the GC benchmark.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List
 
 from ..timestamps import Timestamp
 from .replica import Replica
 
-__all__ = ["LogStats", "GarbageCollector"]
+__all__ = ["LogStats", "TrimReport", "GarbageCollector"]
 
 
 @dataclass
@@ -38,6 +38,27 @@ class LogStats:
     @property
     def max_entries(self) -> int:
         return max(self.entries_per_replica.values(), default=0)
+
+
+@dataclass
+class TrimReport:
+    """Outcome of one offline :meth:`GarbageCollector.trim` pass.
+
+    Attributes:
+        removed: entries removed per *live* replica (by process id).
+        skipped_down: replicas that were down and therefore untouched —
+            their logs keep the stale entries until an online GC notice
+            or a later offline pass reaches them after recovery.
+    """
+
+    register_id: int
+    ts: Timestamp
+    removed: Dict[int, int] = field(default_factory=dict)
+    skipped_down: List[int] = field(default_factory=list)
+
+    @property
+    def total_removed(self) -> int:
+        return sum(self.removed.values())
 
 
 class GarbageCollector:
@@ -60,15 +81,23 @@ class GarbageCollector:
             },
         )
 
-    def trim(self, register_id: int, ts: Timestamp) -> Dict[int, int]:
-        """Trim all replica logs below ``ts``; returns removals per replica.
+    def trim(self, register_id: int, ts: Timestamp) -> TrimReport:
+        """Trim live replica logs below ``ts``; reports per-replica removals.
 
         Only safe when ``ts`` is the timestamp of a complete write (one
         that reached a full quorum) — the caller asserts this, exactly
         as the protocol's coordinator does before broadcasting GC.
+
+        Crashed replicas are *skipped* and reported, never mutated: a
+        down brick cannot execute a trim, and reaching into its stable
+        store from outside would violate the crash-recovery model (the
+        online GC notice such a brick misses is simply a lost message).
         """
-        removed: Dict[int, int] = {}
+        report = TrimReport(register_id=register_id, ts=ts)
         for pid, replica in self.replicas.items():
+            if not replica.node.is_up:
+                report.skipped_down.append(pid)
+                continue
             state = replica.state(register_id)
             count = state.log.trim_below(ts)
             if count:
@@ -76,8 +105,8 @@ class GarbageCollector:
                 # journal gets its trim record (and compaction hook)
                 # exactly as the online GC notice would produce.
                 replica.persist_trim(register_id, state, ts)
-            removed[pid] = count
-        return removed
+            report.removed[pid] = count
+        return report
 
     def high_water_mark(self, register_id: int) -> int:
         """Largest log (in entries) across replicas — the GC bench metric."""
@@ -87,5 +116,5 @@ class GarbageCollector:
         """All register ids with state on any replica."""
         seen = set()
         for replica in self.replicas.values():
-            seen.update(replica._registers)
+            seen.update(replica.register_ids())
         return sorted(seen)

@@ -133,6 +133,21 @@ class Replica:
             self._registers[register_id] = found
         return found
 
+    def register_ids(self) -> list:
+        """Ids of every register with state on this replica (sorted).
+
+        Covers both the volatile mirror and registers whose state lives
+        only in stable storage (e.g. after a crash dropped the mirror) —
+        the public accessor tools like the garbage collector should use
+        instead of reaching into ``_registers``.
+        """
+        seen = set(self._registers)
+        for key in self.node.stable.keys():
+            prefix, _, tail = key.partition(":")
+            if prefix in ("log", "logj", "ordts") and tail.isdigit():
+                seen.add(int(tail))
+        return sorted(seen)
+
     def _log_key(self, register_id: int) -> str:
         return f"log:{register_id}"
 

@@ -93,20 +93,30 @@ class MajorityMQuorumSystem(MQuorumSystem):
         n: universe size.
         m: required intersection.
         f: fault tolerance; defaults to the maximum ``floor((n - m) / 2)``.
+        enforce_bound: when False, skip the Theorem 2 ``f <= (n-m)/2``
+            check and build the (unsound) system anyway.  Quorums of
+            size ``n - f`` then intersect in fewer than ``m`` processes,
+            so reads can miss committed writes — exactly the broken
+            configuration the fault-campaign engine uses to validate
+            that its invariant checks actually fire.  Never use outside
+            deliberate negative testing.
     """
 
-    def __init__(self, n: int, m: int, f: int | None = None) -> None:
+    def __init__(self, n: int, m: int, f: int | None = None,
+                 enforce_bound: bool = True) -> None:
         super().__init__(n, m)
         max_f = (n - m) // 2
         if f is None:
             f = max_f
         if f < 0:
             raise ConfigurationError(f"f must be >= 0, got {f}")
-        if f > max_f:
+        if f > max_f and enforce_bound:
             raise ConfigurationError(
                 f"f={f} exceeds the Theorem 2 bound floor((n-m)/2)={max_f} "
                 f"for n={n}, m={m}"
             )
+        if f >= n:
+            raise ConfigurationError(f"f must be < n={n}, got {f}")
         self._f = f
 
     @property

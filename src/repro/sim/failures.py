@@ -81,11 +81,16 @@ class RandomFailures:
     already down), and each down node recovers with probability
     ``recovery_probability``.
 
+    Reaching ``horizon`` (or calling :meth:`stop`) *drains* the
+    injector: every node this injector crashed and which is still down
+    is recovered, so a campaign never ends with nodes silently stuck
+    down forever.  Nodes crashed by other actors are left alone.
+
     Args:
         max_down: cap on simultaneously crashed nodes.  Set to the
             quorum system's ``f`` to guarantee liveness; set higher to
             stress safety under quorum loss.
-        horizon: stop injecting after this simulated time.
+        horizon: stop injecting (and drain) after this simulated time.
     """
 
     def __init__(
@@ -108,40 +113,134 @@ class RandomFailures:
         self.horizon = horizon
         self.crashes_injected = 0
         self.recoveries_injected = 0
+        self.stopped = False
         self._rng = random.Random(seed)
+        #: Nodes this injector crashed and has not yet seen recover.
+        self._down_by_us: set = set()
         self._schedule_next()
 
     def _down_count(self) -> int:
         return sum(1 for node in self.nodes.values() if not node.is_up)
 
     def _schedule_next(self) -> None:
-        if self.env.now >= self.horizon:
-            return
         timer = self.env.timeout(self.check_interval)
         timer._add_callback(lambda _t: self._tick())
 
     def _tick(self) -> None:
-        for node in self.nodes.values():
+        if self.stopped:
+            return
+        if self.env.now >= self.horizon:
+            self.stop()
+            return
+        for pid, node in self.nodes.items():
             if node.is_up:
+                # A node we crashed that someone else recovered is no
+                # longer ours to drain.
+                self._down_by_us.discard(pid)
+                # Re-check the cap for *each* crash: crashes earlier in
+                # this same sweep count against it, so one sweep can
+                # never overshoot max_down.
                 if (
                     self._down_count() < self.max_down
                     and self._rng.random() < self.crash_probability
                 ):
                     node.crash()
+                    self._down_by_us.add(pid)
                     self.crashes_injected += 1
             else:
                 if self._rng.random() < self.recovery_probability:
                     node.recover()
+                    self._down_by_us.discard(pid)
                     self.recoveries_injected += 1
         self._schedule_next()
+
+    def stop(self) -> None:
+        """Stop injecting and recover every node this injector downed.
+
+        Idempotent.  Called automatically when the horizon passes; call
+        it explicitly to end a campaign early.
+        """
+        if self.stopped:
+            return
+        self.stopped = True
+        for pid in sorted(self._down_by_us):
+            node = self.nodes.get(pid)
+            if node is not None and not node.is_up:
+                node.recover()
+                self.recoveries_injected += 1
+        self._down_by_us.clear()
+
+
+class _TriggerDispatch:
+    """The single send-path wrapper shared by all triggers on a network.
+
+    The seed implementation had every trigger capture ``network.send``
+    at install time and chain-wrap it, so uninstalling triggers in any
+    order other than strict reverse restored a stale wrapper — silently
+    reviving a removed trigger or dropping a live one.  One dispatcher
+    per network with an explicit trigger list makes install/uninstall
+    order-independent, and lets the send path revert to the unwrapped
+    original as soon as the last trigger is gone (no wrapper cost after
+    ``fired``).
+    """
+
+    ATTR = "_message_count_dispatch"
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        self.original_send = network.send
+        self.triggers: List["MessageCountTrigger"] = []
+        network.send = self._send  # type: ignore[assignment]
+        setattr(network, self.ATTR, self)
+
+    @classmethod
+    def acquire(cls, network: Network) -> "_TriggerDispatch":
+        dispatch = getattr(network, cls.ATTR, None)
+        if dispatch is None:
+            dispatch = cls(network)
+        return dispatch
+
+    def add(self, trigger: "MessageCountTrigger") -> None:
+        self.triggers.append(trigger)
+
+    def remove(self, trigger: "MessageCountTrigger") -> None:
+        try:
+            self.triggers.remove(trigger)
+        except ValueError:
+            return
+        if not self.triggers:
+            # Last trigger gone: restore the unwrapped send path.
+            self.network.send = self.original_send  # type: ignore[assignment]
+            if getattr(self.network, self.ATTR, None) is self:
+                delattr(self.network, self.ATTR)
+
+    def _send(self, src, dst, payload, size=0):
+        fired = None
+        for trigger in list(self.triggers):
+            if trigger._observe(src, payload):
+                fired = trigger if fired is None else fired
+                self.remove(trigger)
+        # Deliver this last message, then crash — a trigger cuts the
+        # sender *between* two protocol messages, not mid-message.
+        self.original_send(src, dst, payload, size)
+        if fired is not None:
+            fired.node.crash()
+
+    def __contains__(self, trigger: "MessageCountTrigger") -> bool:
+        return trigger in self.triggers
 
 
 class MessageCountTrigger:
     """Crash a node after it sends its ``count``-th message.
 
-    Wraps the network's send path, so the crash lands between two
-    protocol messages — the exact mechanism for constructing partial
+    Wraps the network's send path (via a per-network dispatcher shared
+    by all concurrently installed triggers), so the crash lands between
+    two protocol messages — the exact mechanism for constructing partial
     writes ("coordinator crashed after updating 4 of 6 replicas").
+
+    Triggers may be stacked freely and uninstalled in any order; a fired
+    trigger removes itself, and once no trigger remains the network's
+    send path reverts to the original unwrapped method.
 
     Args:
         network: the network whose ``send`` is instrumented.
@@ -162,25 +261,30 @@ class MessageCountTrigger:
         self.payload_type = payload_type
         self.fired = False
         self._seen = 0
-        self._original_send = network.send
-        network.send = self._instrumented_send  # type: ignore[assignment]
         self._network = network
+        self._dispatch = _TriggerDispatch.acquire(network)
+        self._dispatch.add(self)
 
-    def _instrumented_send(self, src, dst, payload, size=0):
+    def _observe(self, src, payload) -> bool:
+        """Count one send; True iff this send fires the trigger."""
         if (
-            not self.fired
-            and src == self.node.process_id
-            and (self.payload_type is None or isinstance(payload, self.payload_type))
+            self.fired
+            or src != self.node.process_id
+            or (self.payload_type is not None
+                and not isinstance(payload, self.payload_type))
         ):
-            self._seen += 1
-            if self._seen >= self.count:
-                # Deliver this last message, then crash.
-                self._original_send(src, dst, payload, size)
-                self.fired = True
-                self.node.crash()
-                return
-        self._original_send(src, dst, payload, size)
+            return False
+        self._seen += 1
+        if self._seen >= self.count:
+            self.fired = True
+            return True
+        return False
+
+    @property
+    def installed(self) -> bool:
+        """True while the trigger is armed on the network's send path."""
+        return self in self._dispatch
 
     def uninstall(self) -> None:
-        """Restore the network's original send path."""
-        self._network.send = self._original_send  # type: ignore[assignment]
+        """Remove this trigger; safe in any order, idempotent."""
+        self._dispatch.remove(self)

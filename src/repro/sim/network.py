@@ -212,6 +212,19 @@ class Network:
         """True iff a partition separates ``a`` and ``b``."""
         return frozenset((a, b)) in self._partitions
 
+    def set_drop_probability(self, probability: float) -> None:
+        """Change the per-message loss probability mid-run (validated).
+
+        Fault injectors use this for message-drop windows; assigning
+        ``config.drop_probability`` directly would skip the config's
+        range validation.
+        """
+        if not 0.0 <= probability < 1.0:
+            raise ConfigurationError(
+                f"drop_probability must be in [0, 1), got {probability}"
+            )
+        self.config.drop_probability = probability
+
     # -- sending -----------------------------------------------------------
 
     def send(

@@ -213,6 +213,7 @@ class Node:
         self._handlers: Dict[type, Callable[[ProcessId, Any], None]] = {}
         self._owned_processes: List[Process] = []
         self._crash_count = 0
+        self._crash_hooks: List[Callable[[], None]] = []
         self._recovery_hooks: List[Callable[[], None]] = []
         network.register(process_id, self._on_message)
 
@@ -235,6 +236,8 @@ class Node:
         """
         if not self._up:
             return
+        for hook in self._crash_hooks:
+            hook()
         self._up = False
         self._crash_count += 1
         self.network.set_down(self.process_id, True)
@@ -250,6 +253,16 @@ class Node:
         self.network.set_down(self.process_id, False)
         for hook in self._recovery_hooks:
             hook()
+
+    def on_crash(self, hook: Callable[[], None]) -> None:
+        """Register a hook run at the start of each crash.
+
+        Hooks run while the node is still formally up — before volatile
+        state is torn down and owned processes are interrupted — so they
+        can snapshot state for post-recovery checks (e.g. the campaign
+        engine's log/journal recovery-equivalence invariant).
+        """
+        self._crash_hooks.append(hook)
 
     def on_recovery(self, hook: Callable[[], None]) -> None:
         """Register a hook run after each recovery (state reload)."""

@@ -39,6 +39,9 @@ class OpRecord:
         t_resp: return/crash time (``None`` while pending).
         status: OK / ABORTED / CRASHED / PENDING.
         coordinator: process id of the coordinating brick.
+        register_id: the logical register (virtual-disk stripe) this
+            operation targets, when the recorder is scoped to one —
+            lets multi-register experiments tag records at the source.
     """
 
     op_id: int
@@ -49,6 +52,7 @@ class OpRecord:
     t_resp: Optional[float] = None
     status: OpStatus = OpStatus.PENDING
     coordinator: Optional[int] = None
+    register_id: Optional[int] = None
 
     @property
     def is_write(self) -> bool:
@@ -76,8 +80,11 @@ class OpRecord:
 class HistoryRecorder:
     """Collects operation records from live register operations."""
 
-    def __init__(self, env: Environment) -> None:
+    def __init__(
+        self, env: Environment, register_id: Optional[int] = None
+    ) -> None:
         self.env = env
+        self.register_id = register_id
         self.records: List[OpRecord] = []
         self._ids = itertools.count(1)
 
@@ -105,6 +112,7 @@ class HistoryRecorder:
             value=value,
             t_inv=self.env.now,
             coordinator=coordinator,
+            register_id=self.register_id,
         )
         self.records.append(record)
 
@@ -162,6 +170,7 @@ class HistoryRecorder:
                         t_resp=record.t_resp,
                         status=record.status,
                         coordinator=record.coordinator,
+                        register_id=record.register_id,
                     )
                 )
         return projected

@@ -1,0 +1,48 @@
+"""Suite runner, report rendering, and the JSON artifact contract."""
+
+import json
+
+from repro.analysis.campaign import render_report, run_suite, to_json
+from repro.campaign import CampaignConfig, broken_config
+
+QUICK = CampaignConfig(duration=200.0, ops_per_client=12, clients=2)
+
+
+class TestSuite:
+    def test_clean_sweep(self):
+        suite = run_suite(QUICK, seeds=[0, 1])
+        assert suite.ok
+        assert [o.result.seed for o in suite.outcomes] == [0, 1]
+        report = render_report(suite)
+        assert "no invariant violations" in report
+
+    def test_artifact_is_deterministic(self):
+        first = to_json(run_suite(QUICK, seeds=[0, 1]))
+        second = to_json(run_suite(QUICK, seeds=[0, 1]))
+        assert first == second
+
+    def test_violating_seed_gets_reproducer(self):
+        suite = run_suite(broken_config(QUICK), seeds=[0])
+        assert not suite.ok
+        outcome = suite.violating[0]
+        assert outcome.reproducer is not None
+        assert len(outcome.reproducer.events) <= 10
+        payload = json.loads(to_json(suite))
+        assert payload["ok"] is False
+        assert payload["violating_seeds"] == [0]
+        assert "reproducer" in payload["results"][0]
+        report = render_report(suite)
+        assert "reproducer" in report
+        assert "quorum-precondition" in report
+
+    def test_json_shape(self):
+        payload = json.loads(to_json(run_suite(QUICK, seeds=[0])))
+        assert payload["benchmark"] == "campaign"
+        assert payload["config"]["m"] == QUICK.m
+        assert payload["config"]["n"] == QUICK.n
+        result = payload["results"][0]
+        for key in (
+            "seed", "ok", "violations", "ops", "schedule_events",
+            "recoveries_checked", "blocks_checked", "sim_time",
+        ):
+            assert key in result

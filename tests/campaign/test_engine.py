@@ -1,0 +1,70 @@
+"""The campaign engine: determinism, invariants, broken-config detection."""
+
+import json
+from dataclasses import replace
+
+from repro.campaign import (
+    CampaignConfig,
+    CampaignSchedule,
+    FaultEvent,
+    broken_config,
+    run_campaign,
+)
+
+#: Short but non-trivial: faults fire, ops abort and crash, GC runs.
+QUICK = CampaignConfig(duration=200.0, ops_per_client=12, clients=2)
+
+
+class TestCorrectConfig:
+    def test_zero_violations_across_seeds(self):
+        for seed in range(4):
+            result = run_campaign(replace(QUICK, seed=seed))
+            assert result.ok, (
+                f"seed {seed}: {[v.detail for v in result.violations]}"
+            )
+
+    def test_deterministic(self):
+        first = run_campaign(replace(QUICK, seed=11))
+        second = run_campaign(replace(QUICK, seed=11))
+        assert json.dumps(first.to_dict()) == json.dumps(second.to_dict())
+        assert first.schedule.to_dict() == second.schedule.to_dict()
+
+    def test_campaign_exercises_faults_and_recoveries(self):
+        result = run_campaign(replace(QUICK, seed=0))
+        assert result.schedule_events > 0
+        assert result.recoveries_checked > 0
+        assert result.samples_taken > 0
+        assert result.ops.get("ok", 0) > 0
+        assert result.blocks_checked == QUICK.registers * QUICK.m
+
+    def test_explicit_schedule_overrides_generation(self):
+        schedule = CampaignSchedule(
+            events=[
+                FaultEvent(time=20.0, kind="crash", targets=(2,)),
+                FaultEvent(time=60.0, kind="recover", targets=(2,)),
+            ]
+        )
+        result = run_campaign(replace(QUICK, seed=5), schedule=schedule)
+        assert result.schedule_events == 2
+        assert result.recoveries_checked == 1
+        assert result.ok
+
+    def test_clock_skew_config_stays_safe(self):
+        result = run_campaign(replace(QUICK, seed=2, max_clock_skew=8.0))
+        assert result.ok
+
+
+class TestBrokenConfig:
+    def test_broken_config_is_detected(self):
+        cfg = broken_config(replace(QUICK, seed=1))
+        assert cfg.n < 2 * cfg.effective_f + cfg.m
+        result = run_campaign(cfg)
+        assert not result.ok
+        invariants = {v.invariant for v in result.violations}
+        assert "quorum-precondition" in invariants
+
+    def test_precondition_fires_even_with_empty_schedule(self):
+        cfg = broken_config(replace(QUICK, seed=1))
+        result = run_campaign(cfg, schedule=CampaignSchedule())
+        assert not result.ok
+        assert result.violations[0].time == 0.0

@@ -1,0 +1,54 @@
+"""ddmin shrinking: synthetic predicates and real campaign reproducers."""
+
+from dataclasses import replace
+
+from repro.campaign import (
+    CampaignConfig,
+    broken_config,
+    ddmin,
+    run_campaign,
+    shrink_schedule,
+)
+
+QUICK = CampaignConfig(duration=200.0, ops_per_client=12, clients=2)
+
+
+class TestDdmin:
+    def test_single_culprit(self):
+        assert ddmin(list(range(20)), lambda s: 13 in s) == [13]
+
+    def test_pair_of_culprits(self):
+        result = ddmin(list(range(32)), lambda s: 3 in s and 27 in s)
+        assert sorted(result) == [3, 27]
+
+    def test_empty_when_predicate_holds_vacuously(self):
+        assert ddmin(list(range(8)), lambda s: True) == []
+
+    def test_all_items_needed(self):
+        items = [1, 2, 3]
+        assert ddmin(items, lambda s: len(s) == 3) == items
+
+    def test_preserves_order(self):
+        result = ddmin(list(range(16)), lambda s: {2, 9, 11} <= set(s))
+        assert result == [2, 9, 11]
+
+
+class TestShrinkSchedule:
+    def test_broken_config_shrinks_to_small_reproducer(self):
+        cfg = broken_config(replace(QUICK, seed=1))
+        violating = run_campaign(cfg)
+        assert not violating.ok
+        shrunk = shrink_schedule(cfg, violating.schedule)
+        assert len(shrunk.events) <= 10
+        # The minimized schedule is a standalone reproducer.
+        replay = run_campaign(
+            cfg, schedule=violating.schedule.subset(shrunk.events)
+        )
+        assert not replay.ok
+
+    def test_budget_cap_returns_best_effort(self):
+        cfg = broken_config(replace(QUICK, seed=1))
+        violating = run_campaign(cfg)
+        shrunk = shrink_schedule(cfg, violating.schedule, max_runs=1)
+        assert shrunk.runs <= 1
+        assert shrunk.original_events == len(violating.schedule.events)

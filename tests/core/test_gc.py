@@ -86,10 +86,38 @@ class TestOfflineGc:
             replica.state(0).log.max_ts()
             for replica in cluster.replicas.values()
         )
-        removed = cluster.gc.trim(0, last_ts)
-        assert sum(removed.values()) > 0
+        report = cluster.gc.trim(0, last_ts)
+        assert report.total_removed > 0
+        assert report.skipped_down == []
         assert cluster.gc.high_water_mark(0) == 1
         assert register.read_stripe() == last_stripe
+
+    def test_trim_skips_down_replicas(self):
+        """Regression: trim must never mutate a crashed replica's state."""
+        cluster = make_cluster(m=3, n=5)
+        register = cluster.register(0)
+        for tag in range(5):
+            register.write_stripe(stripe_of(3, 32, tag))
+        last_ts = max(
+            replica.state(0).log.max_ts()
+            for replica in cluster.replicas.values()
+        )
+        down_pid = 4
+        before = len(cluster.replicas[down_pid].state(0).log)
+        store_count_before = cluster.nodes[down_pid].stable.store_count
+        cluster.crash(down_pid)
+        report = cluster.gc.trim(0, last_ts)
+        assert report.skipped_down == [down_pid]
+        assert down_pid not in report.removed
+        assert report.total_removed > 0  # live replicas still trimmed
+        # The crashed brick's persistent state is untouched while down.
+        assert cluster.nodes[down_pid].stable.store_count == store_count_before
+        cluster.recover(down_pid)
+        assert len(cluster.replicas[down_pid].state(0).log) == before
+        # A later pass (post-recovery) catches the straggler up.
+        catchup = cluster.gc.trim(0, last_ts)
+        assert catchup.skipped_down == []
+        assert catchup.removed[down_pid] > 0
 
     def test_registers_seen(self):
         cluster = make_cluster(m=3, n=5)
@@ -97,6 +125,15 @@ class TestOfflineGc:
         cluster.register(7).write_stripe(stripe_of(3, 32, 2))
         seen = cluster.gc.registers_seen()
         assert 3 in seen and 7 in seen
+
+    def test_registers_seen_survives_recovery(self):
+        """The public accessor must see stable-store-only registers."""
+        cluster = make_cluster(m=3, n=5)
+        cluster.register(3).write_stripe(stripe_of(3, 32, 1))
+        cluster.crash(1)
+        cluster.recover(1)  # volatile mirrors dropped; state is on disk
+        assert 3 in cluster.replicas[1].register_ids()
+        assert 3 in cluster.gc.registers_seen()
 
 
 class TestGcRecoveryInterplay:

@@ -62,6 +62,43 @@ class TestScheduledFailures:
         )
         env.run()  # must not raise
 
+    def test_same_timestamp_events_keep_list_order(self):
+        """Simultaneous events apply in the order they were listed.
+
+        The sort on time is stable and the kernel breaks ties FIFO, so
+        crash-then-recover at the same instant leaves the node up, and
+        listing them the other way leaves it down.
+        """
+        env, _network, nodes = make_nodes()
+        injector = ScheduledFailures(
+            env,
+            nodes,
+            [
+                FailureEvent(time=5.0, process_id=1, action="crash"),
+                FailureEvent(time=5.0, process_id=1, action="recover"),
+                FailureEvent(time=5.0, process_id=2, action="crash"),
+            ],
+        )
+        env.run()
+        assert nodes[1].is_up  # crash then recover
+        assert not nodes[2].is_up
+        assert [(e.process_id, e.action) for e in injector.applied] == [
+            (1, "crash"), (1, "recover"), (2, "crash"),
+        ]
+
+        env2, _network2, nodes2 = make_nodes()
+        ScheduledFailures(
+            env2,
+            nodes2,
+            [
+                FailureEvent(time=5.0, process_id=1, action="recover"),
+                FailureEvent(time=5.0, process_id=1, action="crash"),
+            ],
+        )
+        nodes2[1].crash()
+        env2.run()
+        assert not nodes2[1].is_up  # recover then crash
+
 
 class TestRandomFailures:
     def test_respects_max_down(self):
@@ -112,6 +149,53 @@ class TestRandomFailures:
         # Recoveries are off by default prob 0.5; crashes capped by horizon.
         assert injector.crashes_injected == before
 
+    def test_horizon_drains_downed_nodes(self):
+        """Regression: nodes must not stay down forever past the horizon."""
+        env, _network, nodes = make_nodes(count=5)
+        injector = RandomFailures(
+            env, nodes, max_down=3, crash_probability=1.0,
+            recovery_probability=0.0,  # nothing recovers on its own
+            check_interval=1.0, horizon=10.0, seed=4,
+        )
+        env.run(until=9)
+        assert any(not node.is_up for node in nodes.values())
+        env.run(until=20)  # horizon passed: injector stopped and drained
+        assert injector.stopped
+        assert all(node.is_up for node in nodes.values())
+
+    def test_stop_recovers_only_own_crashes(self):
+        env, _network, nodes = make_nodes(count=4)
+        injector = RandomFailures(
+            env, nodes, max_down=2, crash_probability=1.0,
+            recovery_probability=0.0, check_interval=1.0, seed=5,
+        )
+        env.run(until=5)
+        injected = [pid for pid, node in nodes.items() if not node.is_up]
+        assert injected
+        # A crash from another actor (e.g. a scripted scenario).
+        other = next(pid for pid, node in nodes.items() if node.is_up)
+        nodes[other].crash()
+        injector.stop()
+        assert all(nodes[pid].is_up for pid in injected)
+        assert not nodes[other].is_up  # not ours: left alone
+        injector.stop()  # idempotent
+        before = injector.crashes_injected
+        env.run(until=50)
+        assert injector.crashes_injected == before  # stopped means stopped
+
+    def test_max_down_rechecked_per_crash_within_sweep(self):
+        """One sweep over many up nodes must never overshoot max_down."""
+        env, _network, nodes = make_nodes(count=10)
+        RandomFailures(
+            env, nodes, max_down=1, crash_probability=1.0,
+            recovery_probability=0.0, check_interval=1.0,
+            horizon=100.0, seed=6,
+        )
+        for _ in range(20):
+            env.run(until=env.now + 1.0)
+            down = sum(1 for node in nodes.values() if not node.is_up)
+            assert down <= 1
+
 
 class TestMessageCountTrigger:
     def test_crashes_after_nth_message(self):
@@ -143,7 +227,83 @@ class TestMessageCountTrigger:
 
     def test_uninstall(self):
         env, network, nodes = make_nodes()
+        original_send = network.send
         trigger = MessageCountTrigger(network, nodes[1], count=99)
         trigger.uninstall()
         nodes[1].send(2, "x")
         assert not trigger.fired
+        # No triggers left: the unwrapped send path is restored.
+        assert network.send == original_send
+
+    def test_out_of_order_uninstall(self):
+        """Regression: removing an older trigger must not revive or drop
+        any other trigger (the seed's chained wrappers did both)."""
+        env, network, nodes = make_nodes()
+        first = MessageCountTrigger(network, nodes[1], count=2)
+        second = MessageCountTrigger(network, nodes[2], count=1)
+        first.uninstall()  # out of order: second installed after first
+        nodes[1].send(3, "a")
+        nodes[1].send(3, "b")
+        assert not first.fired  # uninstalled: stays dormant
+        assert nodes[1].is_up
+        nodes[2].send(3, "c")
+        assert second.fired  # still armed despite first's uninstall
+        assert not nodes[2].is_up
+
+    def test_fired_trigger_stops_wrapping_send(self):
+        env, network, nodes = make_nodes()
+        original_send = network.send
+        trigger = MessageCountTrigger(network, nodes[1], count=1)
+        assert network.send != original_send
+        nodes[1].send(2, "boom")
+        assert trigger.fired
+        assert not trigger.installed
+        # The last trigger fired: no wrapper cost on subsequent sends.
+        assert network.send == original_send
+
+    def test_stacked_triggers_and_interleaved_uninstall(self):
+        env, network, nodes = make_nodes(count=4)
+        original_send = network.send
+        t1 = MessageCountTrigger(network, nodes[1], count=5)
+        t2 = MessageCountTrigger(network, nodes[2], count=1)
+        t3 = MessageCountTrigger(network, nodes[3], count=1)
+        t2.uninstall()
+        nodes[2].send(4, "x")
+        assert not t2.fired and nodes[2].is_up
+        nodes[3].send(4, "y")
+        assert t3.fired and not nodes[3].is_up
+        t1.uninstall()
+        assert network.send == original_send
+
+    def test_payload_type_filter_under_retransmissions(self):
+        """Count only WriteReq sends while Order retransmits interleave."""
+        from repro.core.messages import OrderReq, WriteReq
+
+        from tests.conftest import make_cluster, stripe_of
+
+        # Heavy drops force the quorum layer to retransmit Order and
+        # Write requests; the trigger must count only WriteReq sends
+        # (retransmissions included) from the coordinator brick.
+        cluster = make_cluster(m=2, n=4, seed=3, drop=0.3)
+        register = cluster.register(0)
+        register.write_stripe(stripe_of(2, 32, tag=1))
+
+        trigger = MessageCountTrigger(
+            cluster.network, cluster.nodes[1], count=3, payload_type=WriteReq
+        )
+        order_sends = []
+        cluster.network.add_send_observer(
+            lambda msg: order_sends.append(msg)
+            if msg.src == 1 and isinstance(msg.payload, OrderReq)
+            else None
+        )
+        coordinator = cluster.coordinators[1]
+        cluster.nodes[1].spawn(
+            coordinator.write_stripe(0, stripe_of(2, 32, tag=2))
+        )
+        cluster.env.run()
+        assert trigger.fired
+        assert trigger._seen == 3
+        assert not cluster.nodes[1].is_up
+        # Order traffic happened too and did not advance the count.
+        assert order_sends
