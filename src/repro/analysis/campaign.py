@@ -71,6 +71,9 @@ class SuiteResult:
                 "crash_weight": cfg.crash_weight,
                 "partition_weight": cfg.partition_weight,
                 "drop_weight": cfg.drop_weight,
+                "corrupt_weight": cfg.corrupt_weight,
+                "verify_checksums": cfg.verify_checksums,
+                "scrub_enabled": cfg.scrub_enabled,
                 "max_clock_skew": cfg.max_clock_skew,
             },
             "seeds": [o.result.seed for o in self.outcomes],
@@ -117,7 +120,9 @@ def render_report(suite: SuiteResult) -> str:
         f"{len(suite.outcomes)} seeds × {cfg.clients} clients × "
         f"{cfg.ops_per_client} ops, duration {cfg.duration:g} "
         f"(mix crash:{cfg.crash_weight:g} part:{cfg.partition_weight:g} "
-        f"drop:{cfg.drop_weight:g})",
+        f"drop:{cfg.drop_weight:g} corrupt:{cfg.corrupt_weight:g})"
+        + ("" if cfg.verify_checksums else " [CHECKSUMS OFF]")
+        + (" [scrub on]" if cfg.scrub_enabled else ""),
         "",
         f"{'seed':>6} {'events':>7} {'ok':>5} {'abort':>6} {'crash':>6} "
         f"{'pend':>5} {'recov':>6} {'violations':>11}",
@@ -131,6 +136,24 @@ def render_report(suite: SuiteResult) -> str:
             f"{r.recoveries_checked:>6} {len(r.violations):>11}"
         )
     lines.append("")
+    if cfg.corrupt_weight > 0:
+        injected = sum(
+            o.result.corruption.get("corruptions_injected", 0)
+            for o in suite.outcomes
+        )
+        detected = sum(
+            o.result.corruption.get("checksum_failures", 0)
+            for o in suite.outcomes
+        )
+        degraded = sum(
+            o.result.corruption.get("degraded_reads", 0)
+            for o in suite.outcomes
+        )
+        lines.append(
+            f"corruption: {injected} injected, {detected} detected, "
+            f"{degraded} degraded reads across all seeds"
+        )
+        lines.append("")
     if suite.ok:
         lines.append("no invariant violations")
     for outcome in suite.violating:

@@ -32,6 +32,7 @@ import random
 from ..core.cluster import ClusterConfig, FabCluster
 from ..core.coordinator import CoordinatorConfig
 from ..errors import StorageError
+from ..sim.failures import CorruptionInjector
 from ..sim.network import NetworkConfig
 from ..types import OpKind
 from ..verify.history import HistoryRecorder
@@ -66,6 +67,16 @@ class CampaignConfig:
         crash_weight / partition_weight / drop_weight / max_down /
         drop_max / max_clock_skew: fault-mix knobs, passed to
             :func:`~repro.campaign.schedule.generate_schedule`.
+        corrupt_weight: weight of silent bit-flip faults in the mix
+            (0 disables corruption injection entirely).
+        torn_write_probability: chance each scheduled crash also leaves
+            a torn journal tail (only when corruption is enabled).
+        verify_checksums: verify stable-store CRC envelopes (default).
+            ``False`` is the negative mode: injected corruption thaws
+            into garbage and the read-verification invariant fires.
+        scrub_enabled / scrub_interval: run the background
+            scrub-and-repair daemon during the campaign, verifying
+            checksums brick-by-brick every ``scrub_interval`` sim-time.
     """
 
     m: int = 3
@@ -91,6 +102,11 @@ class CampaignConfig:
     max_down: Optional[int] = None
     drop_max: float = 0.2
     max_clock_skew: float = 0.0
+    corrupt_weight: float = 0.0
+    torn_write_probability: float = 0.5
+    verify_checksums: bool = True
+    scrub_enabled: bool = False
+    scrub_interval: float = 20.0
 
     @property
     def effective_f(self) -> int:
@@ -120,6 +136,11 @@ class CampaignResult:
     recoveries_checked: int
     samples_taken: int
     sim_time: float
+    reads_verified: int = 0
+    #: Corruption-resilience counters: corruptions_injected,
+    #: torn_injected, checksum_failures, degraded_reads, scrub_scans,
+    #: scrub_detections, scrub_repairs.
+    corruption: Dict[str, int] = field(default_factory=dict)
     schedule: CampaignSchedule = field(repr=False, default=None)
 
     @property
@@ -138,6 +159,8 @@ class CampaignResult:
             "recoveries_checked": self.recoveries_checked,
             "samples_taken": self.samples_taken,
             "sim_time": self.sim_time,
+            "reads_verified": self.reads_verified,
+            "corruption": dict(self.corruption),
         }
 
 
@@ -153,10 +176,19 @@ class _ScheduleApplier:
         self.cluster = cluster
         self.monitor = monitor
         self._base_drop = cluster.network.config.drop_probability
+        self.injector = CorruptionInjector(
+            cluster.nodes, on_corrupt=self._on_corrupt
+        )
         env = cluster.env
         for event in schedule.sorted_events():
             timer = env.timeout(max(0.0, event.time - env.now))
             timer._add_callback(lambda _t, e=event: self._apply(e))
+
+    def _on_corrupt(self, pid: int, register_id: int) -> None:
+        # Drop the replica's volatile mirror so the damage is not
+        # masked by caching, and stand the monitor down for this pair.
+        self.cluster.replicas[pid].drop_mirror(register_id)
+        self.monitor.note_corruption(pid, register_id)
 
     def _apply(self, event) -> None:
         cluster = self.cluster
@@ -166,6 +198,14 @@ class _ScheduleApplier:
         elif event.kind == "recover":
             for pid in event.targets:
                 cluster.nodes[pid].recover()
+        elif event.kind == "corrupt":
+            if len(event.targets) == 2:
+                pid, register_id = event.targets
+                self.injector.corrupt(pid, register_id, seed=int(event.value))
+        elif event.kind == "torn_write":
+            if len(event.targets) == 2:
+                pid, register_id = event.targets
+                self.injector.tear(pid, register_id)
         elif event.kind == "partition":
             group = {p for p in event.targets if 1 <= p <= cluster.config.n}
             rest = set(range(1, cluster.config.n + 1)) - group
@@ -277,6 +317,7 @@ class _Engine:
                 f=config.f,
                 allow_unsafe_f=config.allow_unsafe_f,
                 block_size=config.block_size,
+                verify_checksums=config.verify_checksums,
                 seed=config.seed,
                 clock_skews=dict(schedule.clock_skews),
                 network=NetworkConfig(
@@ -297,13 +338,18 @@ class _Engine:
             for register_id in range(config.registers)
         }
         self._value_counter = 0
+        #: Every payload ever issued to a write — the read-verification
+        #: invariant's ground truth (any bit flip leaves this set).
+        self.issued_blocks: set = set()
 
     def fresh_block(self) -> bytes:
         """A unique, non-zero block value (the checker's assumption)."""
         self._value_counter += 1
         tag = f"s{self.config.seed}v{self._value_counter}."
         data = (tag.encode() * self.config.block_size)
-        return data[: self.config.block_size]
+        block = data[: self.config.block_size]
+        self.issued_blocks.add(block)
+        return block
 
 
 def run_campaign(
@@ -326,12 +372,29 @@ def run_campaign(
             crash_weight=config.crash_weight,
             partition_weight=config.partition_weight,
             drop_weight=config.drop_weight,
+            corrupt_weight=config.corrupt_weight,
+            registers=config.registers,
+            torn_write_probability=config.torn_write_probability,
             drop_max=config.drop_max,
             max_clock_skew=config.max_clock_skew,
         )
     engine = _Engine(config, schedule)
     monitor = CampaignMonitor(engine.cluster)
-    _ScheduleApplier(engine.cluster, schedule, monitor)
+    applier = _ScheduleApplier(engine.cluster, schedule, monitor)
+
+    daemon = None
+    if config.scrub_enabled:
+        # Imported here: repro.scrub builds on core.rebuild, and the
+        # campaign package should stay importable without it.
+        from ..scrub.daemon import ScrubConfig, ScrubDaemon
+
+        daemon = ScrubDaemon(
+            engine.cluster,
+            registers=range(config.registers),
+            config=ScrubConfig(interval=config.scrub_interval),
+            horizon=config.duration + config.drain,
+        )
+        daemon.start()
 
     # Periodic timestamp samples, independent of fault events.
     def periodic() -> None:
@@ -348,18 +411,35 @@ def run_campaign(
         _Client(engine, client_id, seed=client_master.randrange(2**31))
 
     engine.cluster.run(until=config.duration + config.drain)
+    if daemon is not None:
+        daemon.stop()
     monitor.sample()
 
     blocks_checked = 0
+    reads_verified = 0
     for register_id, recorder in engine.recorders.items():
         blocks_checked += monitor.check_history(
             register_id, recorder, config.m
+        )
+        reads_verified += monitor.check_read_integrity(
+            register_id, recorder, engine.issued_blocks, config.block_size
         )
 
     ops: Dict[str, int] = {}
     for recorder in engine.recorders.values():
         for status, count in recorder.summary().items():
             ops[status] = ops.get(status, 0) + count
+
+    metrics = engine.cluster.metrics
+    corruption = {
+        "corruptions_injected": applier.injector.corruptions_injected,
+        "torn_injected": applier.injector.torn_injected,
+        "checksum_failures": metrics.checksum_failures,
+        "degraded_reads": metrics.degraded_reads,
+        "scrub_scans": metrics.scrub_scans,
+        "scrub_detections": metrics.scrub_detections,
+        "scrub_repairs": metrics.scrub_repairs,
+    }
 
     return CampaignResult(
         seed=config.seed,
@@ -371,6 +451,8 @@ def run_campaign(
         recoveries_checked=monitor.recoveries_checked,
         samples_taken=monitor.samples_taken,
         sim_time=engine.env.now,
+        reads_verified=reads_verified,
+        corruption=corruption,
         schedule=schedule,
     )
 

@@ -1,6 +1,6 @@
 """Online invariant checking for fault campaigns.
 
-Four invariants, checked *while the campaign runs* (not as a post-hoc
+Five invariants, checked *while the campaign runs* (not as a post-hoc
 log analysis):
 
 1. **Quorum-intersection preconditions** — the configuration must
@@ -23,6 +23,19 @@ log analysis):
 4. **Strict linearizability** — at campaign end the recorded history of
    every register is projected per block and checked against
    Definition 5 via :mod:`repro.verify`.
+5. **Read verification** — no client read ever returns data that fails
+   end-to-end verification: every OK read's blocks must be values the
+   campaign actually wrote (all written payloads carry a unique seed
+   tag), the all-zero block, or nil.  With checksums on, injected
+   corruption is detected and routed around, so this never fires; the
+   ``verify_checksums=False`` escape hatch demonstrates the detector is
+   load-bearing by letting bit-flipped garbage reach clients.
+
+Injected *corruption* events are faults, not violations: when the
+campaign engine flips a bit it calls :meth:`CampaignMonitor.note_corruption`
+so invariants 2 and 3 stand down for that (brick, register) — a
+quarantined register refuses state reads until repaired, and its
+post-repair log legitimately differs from any pre-crash image.
 
 Violations are collected, never raised: a campaign run always completes
 and reports, so the shrinker can re-run reduced schedules mechanically.
@@ -31,9 +44,11 @@ and reports, so the shrinker can re-run reduced schedules mechanically.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Set, Tuple
 
 from ..core.cluster import FabCluster
+from ..errors import CorruptionDetected
+from ..types import OpStatus
 from ..verify.linearizability import check_strict_linearizability
 
 __all__ = ["Violation", "CampaignMonitor"]
@@ -44,7 +59,8 @@ class Violation:
     """One observed invariant violation."""
 
     invariant: str  # quorum-precondition | recovery-equivalence |
-    #                 timestamp-monotonicity | linearizability
+    #                 timestamp-monotonicity | linearizability |
+    #                 read-verification
     time: float  # simulated time of detection
     detail: str
 
@@ -64,6 +80,8 @@ class CampaignMonitor:
         self.violations: List[Violation] = []
         self.recoveries_checked = 0
         self.samples_taken = 0
+        self.corruptions_noted = 0
+        self.reads_verified = 0
         # (pid, register_id) -> (ord_ts, max_ts) high-water marks.
         self._ts_marks: Dict[Tuple[int, int], Tuple] = {}
         # pid -> {register_id: (ord_ts, serialized log)} at last crash.
@@ -103,6 +121,23 @@ class CampaignMonitor:
                 f"only {intersection} < m={m} processes",
             )
 
+    # -- fault notifications ------------------------------------------------
+
+    def note_corruption(self, pid: int, register_id: int) -> None:
+        """The engine injected corruption into (brick, register).
+
+        Withdraws monitor state the fault invalidates: the pending
+        crash image (recovery will reload damaged-then-repaired state,
+        not the pre-crash image) and the timestamp mark (a repair write
+        starts a fresh log; its timestamps are still monotone, but the
+        quarantine window makes the register unsampleable meanwhile).
+        """
+        self.corruptions_noted += 1
+        images = self._crash_images.get(pid)
+        if images is not None:
+            images.pop(register_id, None)
+        self._ts_marks.pop((pid, register_id), None)
+
     # -- invariant 2: recovery equivalence ---------------------------------
 
     def _register_image(self, pid: int, register_id: int) -> Tuple:
@@ -111,10 +146,13 @@ class CampaignMonitor:
 
     def _snapshot_at_crash(self, pid: int) -> None:
         replica = self.cluster.replicas[pid]
-        self._crash_images[pid] = {
-            register_id: self._register_image(pid, register_id)
-            for register_id in replica.register_ids()
-        }
+        images = {}
+        for register_id in replica.register_ids():
+            try:
+                images[register_id] = self._register_image(pid, register_id)
+            except CorruptionDetected:
+                continue  # quarantined: no trustworthy image to hold
+        self._crash_images[pid] = images
 
     def _check_recovery(self, pid: int) -> None:
         images = self._crash_images.pop(pid, None)
@@ -122,7 +160,14 @@ class CampaignMonitor:
             return
         self.recoveries_checked += 1
         for register_id, before in images.items():
-            after = self._register_image(pid, register_id)
+            try:
+                after = self._register_image(pid, register_id)
+            except CorruptionDetected:
+                # Corrupted while down (note_corruption only clears
+                # images for faults it sees; direct store damage on a
+                # crashed brick surfaces here): a fault, not a
+                # violation.  Repair will restore the register.
+                continue
             if after != before:
                 self._record(
                     "recovery-equivalence",
@@ -140,7 +185,10 @@ class CampaignMonitor:
             if not replica.node.is_up:
                 continue
             for register_id in replica.register_ids():
-                state = replica.state(register_id)
+                try:
+                    state = replica.state(register_id)
+                except CorruptionDetected:
+                    continue  # quarantined until repaired; nothing to mark
                 current = (state.ord_ts, state.log.max_ts())
                 mark = self._ts_marks.get((pid, register_id))
                 if mark is not None and (
@@ -171,4 +219,41 @@ class CampaignMonitor:
                         "linearizability",
                         f"register {register_id} block {index}: {violation}",
                     )
+        return checked
+
+    # -- invariant 5: read verification ------------------------------------
+
+    def check_read_integrity(
+        self,
+        register_id: int,
+        recorder,
+        written_blocks: Set[bytes],
+        block_size: int,
+    ) -> int:
+        """Check every OK read returned only verifiable data.
+
+        ``written_blocks`` is the set of payloads the campaign actually
+        issued (each carries a unique seed tag, so any bit flip leaves
+        the set).  The all-zero block and nil are the legitimate
+        never-written values.  Returns the number of reads checked.
+        """
+        zero = bytes(block_size)
+        checked = 0
+        for record in recorder.records:
+            if not record.is_read or record.status is not OpStatus.OK:
+                continue
+            checked += 1
+            value = record.value
+            blocks = value if isinstance(value, (list, tuple)) else [value]
+            for position, block in enumerate(blocks):
+                if block is None or block == zero or block in written_blocks:
+                    continue
+                self._record(
+                    "read-verification",
+                    f"register {register_id} op {record.op_id} "
+                    f"({record.kind.value}) returned data failing "
+                    f"end-to-end verification at block position "
+                    f"{position}: {block[:32]!r}...",
+                )
+        self.reads_verified += checked
         return checked

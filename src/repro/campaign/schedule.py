@@ -32,7 +32,16 @@ from ..errors import ConfigurationError
 __all__ = ["FaultEvent", "CampaignSchedule", "generate_schedule"]
 
 #: Recognized fault-event kinds.
-KINDS = ("crash", "recover", "partition", "heal", "drop_start", "drop_stop")
+KINDS = (
+    "crash",
+    "recover",
+    "partition",
+    "heal",
+    "drop_start",
+    "drop_stop",
+    "corrupt",
+    "torn_write",
+)
 
 
 @dataclass(frozen=True)
@@ -44,8 +53,11 @@ class FaultEvent:
         kind: one of :data:`KINDS`.
         targets: process ids the event acts on — the crashed/recovered
             node, or the minority group a partition cuts off.  Empty for
-            ``heal`` (heals everything) and drop-window events.
-        value: the drop probability for ``drop_start``; unused otherwise.
+            ``heal`` (heals everything) and drop-window events.  For
+            ``corrupt`` / ``torn_write``: ``(pid, register_id)``.
+        value: the drop probability for ``drop_start``; the
+            deterministic bit-flip seed for ``corrupt``; unused
+            otherwise.
     """
 
     time: float
@@ -142,6 +154,9 @@ def generate_schedule(
     crash_weight: float = 3.0,
     partition_weight: float = 1.0,
     drop_weight: float = 1.0,
+    corrupt_weight: float = 0.0,
+    registers: int = 0,
+    torn_write_probability: float = 0.5,
     event_gap: Tuple[float, float] = (10.0, 40.0),
     down_time: Tuple[float, float] = (20.0, 60.0),
     partition_time: Tuple[float, float] = (20.0, 50.0),
@@ -157,12 +172,26 @@ def generate_schedule(
     fault carries a matching withdrawal (recover / heal / drop_stop) no
     later than ``duration``.  A zero or negative weight disables that
     fault class entirely.
+
+    ``corrupt_weight > 0`` (with ``registers > 0``) adds silent
+    bit-flip events: each targets one ``(brick, register)`` pair with a
+    deterministic bit seed in ``value``.  Corruption counts against the
+    fault budget like a crash does — over the whole run at most
+    ``max_down`` distinct bricks are ever corrupted per register, so a
+    sound configuration (``n >= 2f + m``) always retains a clean
+    ordering quorum and recoverability.  When corruption is enabled,
+    each scheduled crash is also followed (with
+    ``torn_write_probability``) by a ``torn_write`` event at the same
+    instant, modelling the in-flight journal append the crash cut off.
     """
     rng = random.Random(seed)
     events: List[FaultEvent] = []
     down_until: Dict[int, float] = {}  # pid -> scheduled recovery time
     partition_open_until = 0.0
     drop_open_until = 0.0
+    #: register -> bricks ever corrupted there (budget: max_down each).
+    corrupted_bricks: Dict[int, set] = {}
+    corruption_on = corrupt_weight > 0 and registers > 0
 
     kinds: List[str] = []
     weights: List[float] = []
@@ -170,6 +199,7 @@ def generate_schedule(
         ("crash", crash_weight),
         ("partition", partition_weight),
         ("drop", drop_weight),
+        ("corrupt", corrupt_weight if corruption_on else 0.0),
     ):
         if weight > 0:
             kinds.append(kind)
@@ -190,8 +220,31 @@ def generate_schedule(
             pid = rng.choice(candidates)
             back = min(duration, now + rng.uniform(*down_time))
             events.append(FaultEvent(time=now, kind="crash", targets=(pid,)))
+            if corruption_on and rng.random() < torn_write_probability:
+                # The crash cut an in-flight journal append: leave a
+                # torn tail at the same instant (applied after the
+                # crash — same-time events keep list order).
+                register = rng.randrange(registers)
+                events.append(FaultEvent(
+                    time=now, kind="torn_write", targets=(pid, register),
+                ))
             events.append(FaultEvent(time=back, kind="recover", targets=(pid,)))
             down_until[pid] = back
+        elif kind == "corrupt":
+            register = rng.randrange(registers)
+            bricks = corrupted_bricks.setdefault(register, set())
+            if len(bricks) < max_down:
+                candidates = list(range(1, n + 1))
+            else:  # budget spent: only re-corrupt already-dirty bricks
+                candidates = sorted(bricks)
+            if not candidates:
+                continue
+            pid = rng.choice(candidates)
+            bricks.add(pid)
+            events.append(FaultEvent(
+                time=now, kind="corrupt", targets=(pid, register),
+                value=float(rng.randrange(1 << 16)),
+            ))
         elif kind == "partition":
             if now < partition_open_until or max_down < 1:
                 continue

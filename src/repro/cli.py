@@ -7,6 +7,8 @@ Regenerates the paper's artifacts without going through pytest::
     python -m repro.cli table1 --n 5 --m 3     # analytic + measured costs
     python -m repro.cli demo                   # the quickstart scenario
     python -m repro.cli scrub --stripes 8      # scrub/rebuild walkthrough
+    python -m repro.cli scrub --ops 500 --corrupt-rate 0.01
+                                               # scrub-daemon experiment
     python -m repro.cli pipeline               # pipelined session throughput
     python -m repro.cli simcore                # simulator-core events/sec profile
     python -m repro.cli campaign --seeds 25    # randomized fault campaign
@@ -130,6 +132,8 @@ def _demo(args: argparse.Namespace) -> int:
 
 
 def _scrub(args: argparse.Namespace) -> int:
+    if args.ops is not None:
+        return _scrub_daemon(args)
     cluster = FabCluster(ClusterConfig(m=3, n=5, block_size=64))
     stripes = args.stripes
     for register_id in range(stripes):
@@ -151,6 +155,37 @@ def _scrub(args: argparse.Namespace) -> int:
     print("stale after rebuild:",
           len(scrubber.stale_registers(range(stripes))))
     return 0
+
+
+def _scrub_daemon(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from .analysis.scrub import render_report, run_scrub_experiment, to_json
+
+    experiment = run_scrub_experiment(
+        ops=args.ops,
+        corrupt_rates=tuple(args.corrupt_rate),
+        seed=args.seed,
+    )
+    report = render_report(experiment)
+    print(report)
+    if args.out:
+        path = pathlib.Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(report)
+        print(f"report written to {path}")
+    if args.json_out:
+        path = pathlib.Path(args.json_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(to_json(experiment) + "\n")
+        print(f"JSON artifact written to {path}")
+    # Success = every corrupting run ended fully repaired and no client
+    # read ever returned wrong data.
+    healthy = all(
+        run.clean_after and run.read_mismatches == 0
+        for run in experiment.runs
+    )
+    return 0 if healthy else 1
 
 
 def _pipeline(args: argparse.Namespace) -> int:
@@ -218,6 +253,9 @@ def _campaign(args: argparse.Namespace) -> int:
         crash_weight=args.crash_weight,
         partition_weight=args.partition_weight,
         drop_weight=args.drop_weight,
+        corrupt_weight=args.corrupt_weight,
+        verify_checksums=not args.no_verify_checksums,
+        scrub_enabled=args.scrub,
         max_clock_skew=args.max_skew,
     )
     if args.broken:
@@ -275,8 +313,29 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--block-size", type=int, default=512)
     demo.set_defaults(func=_demo)
 
-    scrub = subparsers.add_parser("scrub", help="scrub/rebuild walkthrough")
+    scrub = subparsers.add_parser(
+        "scrub",
+        help="scrub/rebuild walkthrough, or (with --ops) the "
+             "scrub-daemon corruption experiment",
+    )
     scrub.add_argument("--stripes", type=int, default=6)
+    scrub.add_argument(
+        "--ops", type=int, default=None,
+        help="run the scrub-daemon experiment with this many client ops",
+    )
+    scrub.add_argument(
+        "--corrupt-rate", type=float, nargs="+", default=[0.02, 0.08],
+        help="per-op corruption probabilities to sweep (daemon mode)",
+    )
+    scrub.add_argument("--seed", type=int, default=0)
+    scrub.add_argument(
+        "--out", type=str, default=None,
+        help="also write the report to this file (daemon mode)",
+    )
+    scrub.add_argument(
+        "--json", dest="json_out", type=str, default=None,
+        help="write the machine-readable results to this file (daemon mode)",
+    )
     scrub.set_defaults(func=_scrub)
 
     pipeline = subparsers.add_parser(
@@ -340,6 +399,20 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--crash-weight", type=float, default=3.0)
     campaign.add_argument("--partition-weight", type=float, default=1.0)
     campaign.add_argument("--drop-weight", type=float, default=1.0)
+    campaign.add_argument(
+        "--corrupt-weight", type=float, default=0.0,
+        help="weight of silent-corruption faults in the mix (0 disables)",
+    )
+    campaign.add_argument(
+        "--no-verify-checksums", action="store_true",
+        help="escape hatch: disable CRC verification on stable stores "
+             "(the read-verification invariant then catches served rot)",
+    )
+    campaign.add_argument(
+        "--scrub", action="store_true",
+        help="run the background scrub-and-repair daemon during the "
+             "campaign",
+    )
     campaign.add_argument(
         "--max-skew", type=float, default=0.0,
         help="max per-brick clock skew (time units)",

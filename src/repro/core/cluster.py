@@ -64,6 +64,10 @@ class ClusterConfig:
         persistence: replica log persistence — ``"journal"`` (O(1)
             delta records per mutation, default) or ``"full"``
             (re-store the whole log per mutation, the seed baseline).
+        verify_checksums: verify stable-store CRC envelopes on every
+            read (default True).  ``False`` is the escape hatch that
+            lets injected corruption thaw into garbage — only for
+            demonstrating that the detector is load-bearing.
         metrics_history_limit: cap on retained per-operation metric
             records (None = unlimited); long benchmark runs set a limit
             so metric history stays O(1) in run length.
@@ -86,6 +90,7 @@ class ClusterConfig:
     disk_write_latency: float = 0.0
     store_mode: str = "cow"
     persistence: str = "journal"
+    verify_checksums: bool = True
     metrics_history_limit: Optional[int] = None
     seed: int = 0
     allow_unsafe_f: bool = False
@@ -114,6 +119,7 @@ class FabCluster:
             node = Node(
                 self.env, self.network, pid, self.metrics,
                 store_mode=cfg.store_mode,
+                verify_checksums=cfg.verify_checksums,
             )
             replica = Replica(
                 node, self.code, pid,

@@ -302,6 +302,10 @@ class Coordinator:
         #: strategies (preferred order, suspicion-aware) trade load
         #: spreading for locality — see repro.quorum.strategy.
         self.strategy = strategy or RandomQuorumStrategy(self._rng)
+        #: Whether the most recent _read_prev_stripe routed around
+        #: corrupt fragments (read between the generator resumptions of
+        #: one operation, so never racy across interleaved ops).
+        self._last_prev_degraded = False
         self.rpc = QuorumRpc(
             node,
             universe=quorum_system.universe,
@@ -339,6 +343,24 @@ class Coordinator:
 
     def _zero_stripe(self) -> List[Block]:
         return [bytes(self.block_size) for _ in range(self.m)]
+
+    def _clean(self, replies: Dict[ProcessId, object]) -> Dict[ProcessId, object]:
+        """Replies from replicas whose fragment passed its checksum.
+
+        Corrupt-flagged replies are erasures (Konwar et al.,
+        arXiv:1605.01748): they carry no usable block and no ordering
+        certificate, so they are excluded from quorum conditions rather
+        than counted as refusals.
+        """
+        return {
+            i: reply
+            for i, reply in replies.items()
+            if not getattr(reply, "corrupt", False)
+        }
+
+    def _clean_quorum(self, replies: Dict[ProcessId, object]) -> bool:
+        """Prefer predicate: a full quorum of non-corrupt replies."""
+        return len(self._clean(replies)) >= self.quorum_system.quorum_size
 
     # ------------------------------------------------------------------
     # Algorithm 1 — stripe access
@@ -406,10 +428,14 @@ class Coordinator:
             replies = yield from self.rpc.call(
                 lambda dst, rid: OrderReq(
                     register_id=register_id, request_id=rid, ts=ts
-                )
+                ),
+                prefer=self._clean_quorum,
             )
-            if replies is None or not all(
-                reply.status for reply in replies.values()
+            clean = self._clean(replies) if replies is not None else {}
+            if (
+                replies is None
+                or len(clean) < self.quorum_system.quorum_size
+                or not all(reply.status for reply in clean.values())
             ):
                 if replies is not None:
                     for reply in replies.values():
@@ -421,13 +447,22 @@ class Coordinator:
         return result
 
     def _recover(self, register_id: int):
-        """``recover()``: re-establish and write back the latest value."""
+        """``recover()``: re-establish and write back the latest value.
+
+        When the preceding read had to route around checksum-failed
+        fragments, the successful recovery is a degraded read — and its
+        write-back is precisely what repairs the quarantined replicas
+        (they accept the fresh fragment via the repair-write path).
+        """
         ts = self._new_ts()
         stripe = yield from self._read_prev_stripe(register_id, ts)
         if stripe is ABORT:
             return ABORT
+        degraded = self._last_prev_degraded
         stored = yield from self._store_stripe(register_id, stripe, ts)
         if stored is OK:
+            if degraded:
+                self.metrics.count_degraded_read()
             return stripe
         return ABORT
 
@@ -435,8 +470,17 @@ class Coordinator:
         """``read-prev-stripe(ts)``: newest version with >= m blocks.
 
         Returns the stripe (list of blocks), ``None`` for nil, or ABORT.
+
+        Corrupt-flagged replies (checksum-failed fragments) are treated
+        as erasures: they never contribute blocks or ordering
+        certificates, and the quorum conditions are evaluated over the
+        clean replies only.  A read that succeeds despite corrupt
+        fragments is a *degraded read* (counted); the caller's
+        write-back then repairs the quarantined replicas.
         """
         max_ts = HIGH_TS
+        degraded = False
+        self._last_prev_degraded = False
         while True:
             current_max = max_ts
             replies = yield from self.rpc.call(
@@ -446,32 +490,40 @@ class Coordinator:
                     j=ALL,
                     max_ts=current_max,
                     ts=ts,
-                )
+                ),
+                prefer=self._clean_quorum,
             )
             if replies is None:
                 return ABORT
-            if not all(reply.status for reply in replies.values()):
-                for reply in replies.values():
+            clean = self._clean(replies)
+            if len(clean) < self.quorum_system.quorum_size:
+                return ABORT  # not enough verifiable fragments live
+            if not all(reply.status for reply in clean.values()):
+                for reply in clean.values():
                     self._observe(reply.lts)
                 return ABORT
-            max_ts = max(reply.lts for reply in replies.values())
+            degraded = degraded or len(clean) < len(replies)
+            max_ts = max(reply.lts for reply in clean.values())
             blocks = {
                 i: reply.block
-                for i, reply in replies.items()
+                for i, reply in clean.items()
                 if reply.lts == max_ts
             }
             if len(blocks) >= self.m:
                 if max_ts == LOW_TS:
+                    self._last_prev_degraded = degraded
                     return None  # nil: never written
                 value_blocks = {
                     i: b for i, b in blocks.items()
                     if isinstance(b, (bytes, bytearray))
                 }
                 if len(value_blocks) >= self.m:
+                    self._last_prev_degraded = degraded
                     return self.code.decode(
                         {i: bytes(b) for i, b in value_blocks.items()}
                     )
                 if all(b is None for b in blocks.values()):
+                    self._last_prev_degraded = degraded
                     return None  # a complete nil write (recovery stored nil)
                 raise ProtocolInvariantError(
                     f"version {max_ts!r} mixes nil and value blocks: "
@@ -712,20 +764,24 @@ class Coordinator:
                 j=ALL,
                 max_ts=HIGH_TS,
                 ts=ts,
-            )
+            ),
+            prefer=self._clean_quorum,
         )
         result = None
-        if replies is None or not all(
-            reply.status for reply in replies.values()
+        clean = self._clean(replies) if replies is not None else {}
+        if (
+            replies is None
+            or len(clean) < self.quorum_system.quorum_size
+            or not all(reply.status for reply in clean.values())
         ):
             if replies is not None:
-                for reply in replies.values():
+                for reply in clean.values():
                     self._observe(reply.lts)
             self.metrics.end_op(op, self.env.now, aborted=True)
             return ABORT
-        newest = max(reply.lts for reply in replies.values())
+        newest = max(reply.lts for reply in clean.values())
         blocks = {
-            i: reply.block for i, reply in replies.items()
+            i: reply.block for i, reply in clean.items()
             if reply.lts == newest
         }
         value_blocks = {

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from ..errors import CorruptionDetected
 from ..timestamps import Timestamp
 from .replica import Replica
 
@@ -49,12 +50,17 @@ class TrimReport:
         skipped_down: replicas that were down and therefore untouched —
             their logs keep the stale entries until an online GC notice
             or a later offline pass reaches them after recovery.
+        skipped_quarantined: replicas whose copy of the register failed
+            checksum verification — compacting a corrupt log would
+            destroy the very evidence the repair path (degraded read /
+            scrub write-back) needs, so GC leaves it untouched.
     """
 
     register_id: int
     ts: Timestamp
     removed: Dict[int, int] = field(default_factory=dict)
     skipped_down: List[int] = field(default_factory=list)
+    skipped_quarantined: List[int] = field(default_factory=list)
 
     @property
     def total_removed(self) -> int:
@@ -72,14 +78,18 @@ class GarbageCollector:
         self.replicas = replicas
 
     def stats(self, register_id: int) -> LogStats:
-        """Current per-replica log sizes for ``register_id``."""
-        return LogStats(
-            register_id=register_id,
-            entries_per_replica={
-                pid: len(replica.state(register_id).log)
-                for pid, replica in self.replicas.items()
-            },
-        )
+        """Current per-replica log sizes for ``register_id``.
+
+        Quarantined (checksum-failed) copies are omitted: their logs
+        cannot be trusted enough to even count entries.
+        """
+        entries: Dict[int, int] = {}
+        for pid, replica in self.replicas.items():
+            try:
+                entries[pid] = len(replica.state(register_id).log)
+            except CorruptionDetected:
+                continue
+        return LogStats(register_id=register_id, entries_per_replica=entries)
 
     def trim(self, register_id: int, ts: Timestamp) -> TrimReport:
         """Trim live replica logs below ``ts``; reports per-replica removals.
@@ -98,7 +108,11 @@ class GarbageCollector:
             if not replica.node.is_up:
                 report.skipped_down.append(pid)
                 continue
-            state = replica.state(register_id)
+            try:
+                state = replica.state(register_id)
+            except CorruptionDetected:
+                report.skipped_quarantined.append(pid)
+                continue
             count = state.log.trim_below(ts)
             if count:
                 # Route through the replica's persistence path so the

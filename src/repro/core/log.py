@@ -304,10 +304,37 @@ def snapshot_record(log: ReplicaLog) -> tuple:
     return (_SNAPSHOT, tuple(log.to_state()))
 
 
+def _is_well_formed(record: Any) -> bool:
+    """Structural check for one journal record (tag + arity)."""
+    if not isinstance(record, tuple) or not record:
+        return False
+    tag = record[0]
+    if tag == _SNAPSHOT or tag == _TRIM:
+        return len(record) == 2
+    if tag == _APPEND:
+        return len(record) == 3
+    return False
+
+
 def replay_journal(records: List[Any]) -> ReplicaLog:
-    """Rebuild a log by replaying journal ``records`` in order."""
+    """Rebuild a log by replaying journal ``records`` in order.
+
+    A malformed *trailing* record is dropped rather than aborting the
+    replay: the stable store already truncates framing-detected torn
+    tails, and this is the second line of defense for a half-record
+    that slipped through — it was never acknowledged, so dropping it is
+    the correct recovery.  A malformed record anywhere else means real
+    corruption and still raises.
+    """
     log: Optional[ReplicaLog] = None
-    for record in records:
+    last = len(records) - 1
+    for index, record in enumerate(records):
+        if not _is_well_formed(record):
+            if index == last:
+                break  # torn tail: unacknowledged, cleanly dropped
+            raise ProtocolInvariantError(
+                f"malformed journal record {record!r} at index {index}"
+            )
         tag = record[0]
         if tag == _SNAPSHOT:
             log = ReplicaLog.from_state(list(record[1]))
@@ -315,10 +342,8 @@ def replay_journal(records: List[Any]) -> ReplicaLog:
             if log is None:
                 log = ReplicaLog()
             log.append(record[1], record[2])
-        elif tag == _TRIM:
+        else:  # _TRIM
             if log is None:
                 log = ReplicaLog()
             log.trim_below(record[1])
-        else:
-            raise ProtocolInvariantError(f"unknown journal record tag {tag!r}")
     return log if log is not None else ReplicaLog()

@@ -72,11 +72,17 @@ class ReadReq(_Base):
 
 @dataclass(frozen=True)
 class ReadReply(_Base):
-    """``[Read-R, status, val-ts, b]``."""
+    """``[Read-R, status, val-ts, b]``.
+
+    ``corrupt=True`` flags a replica whose fragment failed its stored
+    checksum: the coordinator must treat this reply's block as ⊥ (an
+    erasure) — it carries no usable data and no valid timestamp.
+    """
 
     status: bool = False
     val_ts: Optional[Timestamp] = None
     block: Optional[Block] = None
+    corrupt: bool = False
 
     @property
     def size(self) -> int:
@@ -100,10 +106,15 @@ class OrderReply(_Base):
     advance its clock immediately instead of relying on repeated blind
     retries for the PROGRESS property — an abort-rate optimization with
     no safety impact (timestamps only gate ordering).
+
+    ``corrupt=True`` flags a quarantined register: the replica cannot
+    certify ordering against a corrupt log, and the coordinator must
+    exclude it from the quorum rather than abort on its refusal.
     """
 
     status: bool = False
     max_seen: Optional[Timestamp] = None
+    corrupt: bool = False
 
 
 @dataclass(frozen=True)
@@ -121,11 +132,16 @@ class OrderReadReq(_Base):
 
 @dataclass(frozen=True)
 class OrderReadReply(_Base):
-    """``[Order&Read-R, status, lts, b]``."""
+    """``[Order&Read-R, status, lts, b]``.
+
+    ``corrupt=True`` marks a checksum-failed fragment; the recovery
+    read treats it as an erasure (see :class:`ReadReply`).
+    """
 
     status: bool = False
     lts: Optional[Timestamp] = None
     block: Optional[Block] = None
+    corrupt: bool = False
 
     @property
     def size(self) -> int:

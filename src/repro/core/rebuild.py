@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
+from ..errors import CorruptionDetected
 from ..timestamps import Timestamp
 from ..types import ABORT, ProcessId
 from .cluster import FabCluster
@@ -44,6 +45,9 @@ class ScrubReport:
         current: bricks whose log reflects ``newest_ts``.
         stale: bricks holding only older versions.
         down: bricks that could not be audited (crashed).
+        corrupt: up bricks whose persistent state failed checksum
+            verification (quarantined) — their fragment is lost until a
+            repair write-back replaces it.
     """
 
     register_id: int
@@ -51,11 +55,12 @@ class ScrubReport:
     current: List[ProcessId] = field(default_factory=list)
     stale: List[ProcessId] = field(default_factory=list)
     down: List[ProcessId] = field(default_factory=list)
+    corrupt: List[ProcessId] = field(default_factory=list)
 
     @property
     def fully_redundant(self) -> bool:
         """True iff every up brick reflects the newest version."""
-        return not self.stale
+        return not self.stale and not self.corrupt
 
     @property
     def redundancy(self) -> int:
@@ -83,7 +88,10 @@ class Scrubber:
             if not node.is_up:
                 report.down.append(pid)
                 continue
-            versions[pid] = replica.state(register_id).log.max_ts()
+            try:
+                versions[pid] = replica.state(register_id).log.max_ts()
+            except CorruptionDetected:
+                report.corrupt.append(pid)
         if not versions:
             return report
         report.newest_ts = max(versions.values())

@@ -24,9 +24,9 @@ operation — never a safety violation.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Set, Tuple
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, CorruptionDetected
 from ..erasure.interface import ErasureCode
 from ..sim.node import Node
 from ..timestamps import LOW_TS, Timestamp
@@ -114,6 +114,11 @@ class Replica:
         self.persistence = persistence
         self._busy = 0.0
         self._registers: Dict[int, RegisterState] = {}
+        #: Registers whose persistent log failed its checksum on load.
+        #: A quarantined register answers protocol requests with
+        #: ``corrupt=True`` (its fragment is an erasure) until a repair
+        #: write rebuilds it.  ``ord-ts`` lives in NVRAM and survives.
+        self.quarantined: Set[int] = set()
         self._reply_cache: Dict[Tuple[ProcessId, int], object] = {}
         node.register_handler(ReadReq, self._on_read)
         node.register_handler(OrderReq, self._on_order)
@@ -126,12 +131,52 @@ class Replica:
     # -- state access -------------------------------------------------------
 
     def state(self, register_id: int) -> RegisterState:
-        """The (volatile mirror of) persistent state for one register."""
+        """The (volatile mirror of) persistent state for one register.
+
+        Raises :class:`CorruptionDetected` when the register's
+        persistent log fails its checksum (and quarantines it).
+        """
+        if register_id in self.quarantined:
+            raise CorruptionDetected(
+                f"register {register_id} quarantined on replica {self.i}",
+                key=self._journal_key(register_id),
+                process_id=self.i,
+            )
         found = self._registers.get(register_id)
         if found is None:
-            found = self._load(register_id)
+            try:
+                found = self._load(register_id)
+            except CorruptionDetected as err:
+                self.quarantined.add(register_id)
+                self.node.metrics.count_checksum_failure()
+                err.process_id = self.i
+                raise
             self._registers[register_id] = found
         return found
+
+    def _handler_state(self, register_id: int) -> Optional[RegisterState]:
+        """State for a message handler; None when quarantined (⊥)."""
+        try:
+            return self.state(register_id)
+        except CorruptionDetected:
+            return None
+
+    def drop_mirror(self, register_id: int) -> None:
+        """Forget the volatile mirror so the next access re-reads disk.
+
+        Fault injectors call this after corrupting stable storage: the
+        volatile mirror models a cache that would otherwise mask the
+        damage indefinitely.
+        """
+        self._registers.pop(register_id, None)
+
+    def ord_ts_of(self, register_id: int) -> Timestamp:
+        """The register's NVRAM ``ord-ts`` straight from stable storage.
+
+        Available even for quarantined registers — ``ord-ts`` is never
+        subject to log corruption.
+        """
+        return self.node.stable.load(self._ord_key(register_id), LOW_TS)
 
     def register_ids(self) -> list:
         """Ids of every register with state on this replica (sorted).
@@ -262,7 +307,15 @@ class Replica:
         """``[Read, targets]``: report val-ts; targets also return a block."""
         if self._resend_if_duplicate(src, req):
             return
-        state = self.state(req.register_id)
+        state = self._handler_state(req.register_id)
+        if state is None:
+            # Checksum-failed fragment: report ⊥ (an erasure), never data.
+            self._reply(src, req.request_id, ReadReply(
+                register_id=req.register_id,
+                request_id=req.request_id,
+                corrupt=True,
+            ))
+            return
         val_ts = state.log.max_ts()
         status = val_ts >= state.ord_ts
         block = None
@@ -286,7 +339,18 @@ class Replica:
         """``[Order, ts]``: reserve a place in the write order."""
         if self._resend_if_duplicate(src, req):
             return
-        state = self.state(req.register_id)
+        state = self._handler_state(req.register_id)
+        if state is None:
+            # Cannot certify ordering against a corrupt log (its max-ts
+            # is unknown); refuse, flagged so the coordinator excludes
+            # this replica from the quorum instead of aborting.
+            self._reply(src, req.request_id, OrderReply(
+                register_id=req.register_id,
+                request_id=req.request_id,
+                corrupt=True,
+                max_seen=self.ord_ts_of(req.register_id),
+            ))
+            return
         status = req.ts > state.log.max_ts() and req.ts >= state.ord_ts
         if status:
             state.ord_ts = req.ts
@@ -303,7 +367,14 @@ class Replica:
         """``[Order&Read, j, max, ts]``: order ``ts``; return max-below block."""
         if self._resend_if_duplicate(src, req):
             return
-        state = self.state(req.register_id)
+        state = self._handler_state(req.register_id)
+        if state is None:
+            self._reply(src, req.request_id, OrderReadReply(
+                register_id=req.register_id,
+                request_id=req.request_id,
+                corrupt=True,
+            ))
+            return
         status = req.ts > state.log.max_ts() and req.ts >= state.ord_ts
         lts: Timestamp = LOW_TS
         block = None
@@ -337,7 +408,10 @@ class Replica:
         """``[Write, b_i, ts]``: append the new block to the log."""
         if self._resend_if_duplicate(src, req):
             return
-        state = self.state(req.register_id)
+        state = self._handler_state(req.register_id)
+        if state is None:
+            self._repair_write(src, req)
+            return
         status = req.ts > state.log.max_ts() and req.ts >= state.ord_ts
         if status:
             state.log.append(req.ts, req.block)
@@ -352,6 +426,43 @@ class Replica:
         )
         self._reply(src, req.request_id, reply)
 
+    def _repair_write(self, src: ProcessId, req: WriteReq) -> None:
+        """Accept a write to a quarantined register as its repair.
+
+        The corrupt log cannot gate on ``max-ts``, but ``ord-ts``
+        (NVRAM, uncorrupted) still orders the repair: any write at
+        ``ts >= ord-ts`` carries a fragment at least as fresh as
+        anything this replica could have certified, so replacing the
+        whole log with it restores a consistent state.  Stale writes
+        (``ts < ord-ts``) are refused as usual.  This is how both the
+        recovery write-back of a degraded read and the scrub daemon's
+        rebuild heal a brick in place.
+        """
+        ord_ts = self.ord_ts_of(req.register_id)
+        status = req.ts >= ord_ts
+        if status:
+            log = ReplicaLog()
+            log.append(req.ts, req.block)
+            state = RegisterState(log=log, ord_ts=ord_ts)
+            if self.persistence == "journal":
+                self.node.stable.reset_journal(
+                    self._journal_key(req.register_id),
+                    (snapshot_record(log),),
+                )
+            else:
+                self._store_log(req.register_id, state)
+            if req.block is not None:
+                self._disk_write()
+            self._registers[req.register_id] = state
+            self.quarantined.discard(req.register_id)
+        reply = WriteReply(
+            register_id=req.register_id,
+            request_id=req.request_id,
+            status=status,
+            max_seen=max(ord_ts, req.ts) if status else ord_ts,
+        )
+        self._reply(src, req.request_id, reply)
+
     def _on_modify(self, src: ProcessId, req: ModifyReq) -> None:
         """``[Modify, j, b_j, b, ts_j, ts]``: block-write fast path.
 
@@ -361,7 +472,17 @@ class Replica:
         """
         if self._resend_if_duplicate(src, req):
             return
-        state = self.state(req.register_id)
+        state = self._handler_state(req.register_id)
+        if state is None:
+            # The incremental path needs a trusted base version; a
+            # quarantined register has none.  Refuse — the coordinator's
+            # slow path recovers and repairs via the Write handler.
+            self._reply(src, req.request_id, ModifyReply(
+                register_id=req.register_id,
+                request_id=req.request_id,
+                status=False,
+            ))
+            return
         status = req.ts_j == state.log.max_ts() and req.ts >= state.ord_ts
         if status:
             if self.i == req.j:
@@ -398,7 +519,9 @@ class Replica:
 
     def _on_gc(self, src: ProcessId, req: GcReq) -> None:
         """Garbage-collection notice: trim log entries below ``ts``."""
-        state = self.state(req.register_id)
+        state = self._handler_state(req.register_id)
+        if state is None:
+            return  # never compact a quarantined register
         removed = state.log.trim_below(req.ts)
         if removed:
             self.persist_trim(req.register_id, state, req.ts)

@@ -43,7 +43,7 @@ import random
 from collections import deque
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..errors import ConfigurationError, StorageError
+from ..errors import ConfigurationError, CorruptionDetected, StorageError
 from ..sim.kernel import Event, Interrupt, Process
 from ..sim.monitor import SessionStats
 from ..types import ABORT, Block, OpKind, OpStatus, ProcessId
@@ -509,6 +509,24 @@ class VolumeSession:
                     if not self._note_failover(op):
                         return
                     avoid = pid
+                    continue
+                except CorruptionDetected:
+                    # The coordinator tripped over a quarantined local
+                    # register.  Retryable in exactly the abort sense:
+                    # a different coordinator — or a scrub repair in
+                    # the meantime — can complete the operation.
+                    if op.attempts >= policy.attempts:
+                        op.status = "aborted"
+                        op.value = ABORT
+                        self.stats.aborts_exhausted += 1
+                        self._finish(op)
+                        return
+                    op.retries += 1
+                    self.stats.retries += 1
+                    avoid = pid
+                    wait = delay * (1.0 + policy.jitter * self._rng.random())
+                    delay *= policy.backoff_growth
+                    yield self.env.timeout(wait)
                     continue
                 if result is not ABORT:
                     self._finalize_ok(op, result)

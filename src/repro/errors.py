@@ -46,6 +46,22 @@ class StorageError(ReproError):
     """Raised on invalid access to a node's persistent store."""
 
 
+class CorruptionDetected(StorageError):
+    """Raised when a stored value fails its checksum on read.
+
+    The stable store wraps every value and journal record in a CRC
+    envelope; a mismatch means the bits on "disk" were silently
+    altered (injected bit flip, torn write).  Callers treat the
+    affected fragment as an erasure (``⊥``) rather than thawing
+    garbage — see Konwar et al., arXiv:1605.01748.
+    """
+
+    def __init__(self, message: str, key: str = "", process_id: int = -1):
+        super().__init__(message)
+        self.key = key
+        self.process_id = process_id
+
+
 class VerificationError(ReproError):
     """Raised when a history fails linearizability verification.
 

@@ -1,0 +1,10 @@
+"""Background scrub-and-repair: sweeping checksummed storage for rot.
+
+See :mod:`repro.scrub.daemon` for the daemon itself;
+:mod:`repro.analysis.scrub` runs the detection-latency / repair
+throughput experiments the scrub bench and CLI report.
+"""
+
+from .daemon import ScrubConfig, ScrubDaemon
+
+__all__ = ["ScrubConfig", "ScrubDaemon"]

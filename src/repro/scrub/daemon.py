@@ -1,0 +1,244 @@
+"""The background scrub-and-repair daemon.
+
+Checksummed persistence (:mod:`repro.sim.node`) turns silent corruption
+into *detectable* corruption, and the degraded-read path routes around
+it — but only for data a client happens to read.  Latent damage in cold
+registers would otherwise sit until enough fragments rot to defeat the
+code.  The scrub daemon closes that gap: a rate-limited background
+process that sweeps every (register, brick) pair, verifies the stored
+envelope checksums brick by brick, and repairs any damage it finds by
+erasure-decoding the surviving fragments and writing the stripe back
+(the :class:`~repro.core.rebuild.Rebuilder` recovery-with-full-coverage
+primitive, so the repaired brick ends up holding its fragment again).
+
+Detection is an *offline* audit — it reads stable storage directly via
+:meth:`StableStore.verify`, costing no protocol messages and never
+perturbing timestamps.  Repair runs through the ordinary protocol, so
+it is linearized like any client write and safe under concurrent I/O
+(an abort just means a racing client write already re-protected the
+data; the next sweep retries).
+
+All progress is reported through :class:`~repro.sim.monitor.Metrics`
+(``scrub_scans`` / ``scrub_detections`` / ``scrub_repairs`` and the
+repair-time accumulator behind ``mean_time_to_repair``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..errors import CorruptionDetected, StorageError
+from ..types import ABORT, ProcessId
+from ..core.cluster import FabCluster
+from ..core.rebuild import Rebuilder
+
+__all__ = ["ScrubConfig", "ScrubDaemon"]
+
+
+@dataclass
+class ScrubConfig:
+    """Scrub-daemon knobs.
+
+    Attributes:
+        interval: simulated time between daemon wake-ups.  Together
+            with ``bricks_per_step`` this is the rate limit: the daemon
+            verifies at most ``bricks_per_step / interval`` (register,
+            brick) pairs per unit of simulated time.
+        bricks_per_step: (register, brick) pairs verified per wake-up.
+        repair: issue repair write-backs for detected damage (False =
+            detect-and-report only, an audit mode).
+    """
+
+    interval: float = 20.0
+    bricks_per_step: int = 2
+    repair: bool = True
+
+
+class ScrubDaemon:
+    """Rate-limited background verify-and-repair sweep over a cluster.
+
+    Args:
+        cluster: the cluster to scrub (its metrics sink absorbs all
+            scrub counters).
+        registers: register ids the sweep covers, in sweep order.
+        config: rate limit and repair policy.
+        horizon: simulated time after which the daemon stops itself
+            (None = run until :meth:`stop`).
+
+    The daemon is driven by simulation timers: call :meth:`start` once
+    and let the environment run.  :meth:`sweep_now` is the synchronous
+    alternative for tools that want one full verification pass without
+    waiting for timers.
+    """
+
+    def __init__(
+        self,
+        cluster: FabCluster,
+        registers: Iterable[int],
+        config: Optional[ScrubConfig] = None,
+        horizon: Optional[float] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.registers = list(registers)
+        self.config = config or ScrubConfig()
+        self.horizon = horizon
+        self.metrics = cluster.metrics
+        self.running = False
+        self.sweeps_completed = 0
+        self.repairs_done = 0
+        self.repair_aborts = 0
+        #: (time, pid, register_id) for every scrub-detected corruption.
+        self.detections: List[Tuple[float, int, int]] = []
+        self._cursor = 0
+        #: (pid, register_id) -> sim time the daemon first saw it dirty.
+        self._detected_at: Dict[Tuple[int, int], float] = {}
+        self._repair_inflight: Set[int] = set()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin the background sweep (idempotent)."""
+        if self.running:
+            return
+        self.running = True
+        self._arm_timer()
+
+    def stop(self) -> None:
+        """Stop waking up; in-flight repairs finish on their own."""
+        self.running = False
+
+    def _arm_timer(self) -> None:
+        timer = self.cluster.env.timeout(self.config.interval)
+        timer._add_callback(lambda _t: self._tick())
+
+    def _tick(self) -> None:
+        if not self.running:
+            return
+        if self.horizon is not None and self.cluster.env.now >= self.horizon:
+            self.stop()
+            return
+        for _ in range(self.config.bricks_per_step):
+            self._scan_next()
+        self._arm_timer()
+
+    # -- scanning ------------------------------------------------------------
+
+    def _pairs(self) -> int:
+        return len(self.registers) * self.cluster.config.n
+
+    def _scan_next(self) -> None:
+        """Verify the next (register, brick) pair in round-robin order."""
+        total = self._pairs()
+        if total == 0:
+            return
+        index = self._cursor % total
+        self._cursor += 1
+        if self._cursor % total == 0:
+            self.sweeps_completed += 1
+        register_id = self.registers[index // self.cluster.config.n]
+        pid = 1 + index % self.cluster.config.n
+        self._scan_one(pid, register_id)
+
+    def _scan_one(self, pid: ProcessId, register_id: int) -> None:
+        node = self.cluster.nodes.get(pid)
+        replica = self.cluster.replicas.get(pid)
+        if node is None or not node.is_up:
+            return
+        self.metrics.count_scrub_scan()
+        if register_id in replica.quarantined:
+            # Client I/O found it first; our job is only the repair.
+            self._detected_at.setdefault((pid, register_id), self.cluster.env.now)
+            self._schedule_repair(register_id)
+            return
+        if self._verify_brick(node, replica, register_id):
+            return
+        # The scrubber found latent damage before any client read did.
+        now = self.cluster.env.now
+        self.metrics.count_scrub_detection()
+        self.detections.append((now, pid, register_id))
+        self._detected_at.setdefault((pid, register_id), now)
+        # Route the quarantine transition through the standard client
+        # detection path (drop the mirror, let the load fail) so the
+        # accounting matches a read-triggered detection exactly.
+        replica.drop_mirror(register_id)
+        try:
+            replica.state(register_id)
+        except CorruptionDetected:
+            pass
+        self._schedule_repair(register_id)
+
+    @staticmethod
+    def _verify_brick(node, replica, register_id: int) -> bool:
+        """True iff the register's persistent log on this brick is clean."""
+        clean = True
+        for key in (
+            replica._journal_key(register_id),
+            replica._log_key(register_id),
+        ):
+            if key in node.stable:
+                clean = clean and node.stable.verify(key)
+        return clean
+
+    # -- repair --------------------------------------------------------------
+
+    def _schedule_repair(self, register_id: int) -> None:
+        if not self.config.repair or register_id in self._repair_inflight:
+            return
+        live = self.cluster.live_processes()
+        if not live:
+            return
+        coordinator_pid = live[0]
+        coordinator = self.cluster.coordinators[coordinator_pid]
+        generator = Rebuilder._recover_everywhere(
+            coordinator, register_id, len(live)
+        )
+        try:
+            process = self.cluster.nodes[coordinator_pid].spawn(generator)
+        except StorageError:
+            generator.close()
+            return
+        self._repair_inflight.add(register_id)
+        process._add_callback(
+            lambda event, r=register_id: self._repair_done(r, event)
+        )
+
+    def _repair_done(self, register_id: int, event) -> None:
+        self._repair_inflight.discard(register_id)
+        if not event.ok or event.value is ABORT:
+            # Lost a race (or the coordinator crashed): the quarantine
+            # persists, so the next sweep simply retries.
+            self.repair_aborts += 1
+            return
+        self.repairs_done += 1
+        marks = [k for k in self._detected_at if k[1] == register_id]
+        detected = min(
+            (self._detected_at[k] for k in marks),
+            default=self.cluster.env.now,
+        )
+        for key in marks:
+            del self._detected_at[key]
+        self.metrics.count_scrub_repair(self.cluster.env.now - detected)
+
+    # -- synchronous use ------------------------------------------------------
+
+    def sweep_now(self) -> int:
+        """One full verification pass, right now; returns pairs scanned.
+
+        Repairs found along the way are *scheduled* (they run through
+        the protocol); advance the simulation to let them complete.
+        """
+        total = self._pairs()
+        for _ in range(total):
+            self._scan_next()
+        return total
+
+    def summary(self) -> Dict[str, float]:
+        """Daemon-local progress counters (metrics hold the totals)."""
+        return {
+            "sweeps_completed": self.sweeps_completed,
+            "detections": len(self.detections),
+            "repairs_done": self.repairs_done,
+            "repair_aborts": self.repair_aborts,
+            "pending_repairs": len(self._repair_inflight),
+        }

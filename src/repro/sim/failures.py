@@ -10,14 +10,17 @@ patterns against a set of :class:`~repro.sim.node.Node` objects:
   a cap on concurrently-down nodes (keeping a live quorum available);
 * :class:`MessageCountTrigger` — crash a node after it has sent a given
   number of messages, the precise way to cut a coordinator mid-protocol
-  (e.g. "crash after the first Write reaches only 4 replicas").
+  (e.g. "crash after the first Write reaches only 4 replicas");
+* :class:`CorruptionInjector` — deterministic at-rest damage to stable
+  storage: silent bit flips in stored fragments (latent sector errors)
+  and torn journal tails (a crash landing mid-append).
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..types import ProcessId
 from .kernel import Environment
@@ -29,6 +32,7 @@ __all__ = [
     "ScheduledFailures",
     "RandomFailures",
     "MessageCountTrigger",
+    "CorruptionInjector",
 ]
 
 
@@ -169,6 +173,77 @@ class RandomFailures:
                 node.recover()
                 self.recoveries_injected += 1
         self._down_by_us.clear()
+
+
+class CorruptionInjector:
+    """Inject silent at-rest corruption into node stable stores.
+
+    Works directly on the :class:`~repro.sim.node.StableStore` layer —
+    below checksum verification — so the damage is exactly what a
+    latent sector error or torn write leaves behind.  All injection is
+    deterministic: the same ``(pid, register, seed)`` always flips the
+    same bit.
+
+    Args:
+        nodes: process id -> node map (a crashed node's store is still
+            injectable; the damage surfaces at its next read).
+        key_patterns: stable-store key templates tried in order for a
+            register's persistent log (``{register}`` placeholder);
+            the defaults match the replica layer's journal and full-log
+            keys.
+        on_corrupt: callback ``(pid, register_id)`` run after a
+            successful bit flip — the campaign engine uses it to drop
+            the replica's volatile mirror (so the damage is not masked
+            by caching) and to inform the invariant monitor.
+    """
+
+    def __init__(
+        self,
+        nodes: Dict[ProcessId, Node],
+        key_patterns: Sequence[str] = ("logj:{register}", "log:{register}"),
+        on_corrupt: Optional[Callable[[ProcessId, int], None]] = None,
+    ) -> None:
+        self.nodes = nodes
+        self.key_patterns = tuple(key_patterns)
+        self.on_corrupt = on_corrupt
+        self.corruptions_injected = 0
+        self.torn_injected = 0
+
+    def _keys(self, register_id: int) -> List[str]:
+        return [p.format(register=register_id) for p in self.key_patterns]
+
+    def corrupt(self, pid: ProcessId, register_id: int, seed: int = 0) -> bool:
+        """Flip one bit in ``register_id``'s stored log on brick ``pid``.
+
+        Returns True iff a bit was flipped (the register has persistent
+        state on that brick with flippable payload).
+        """
+        node = self.nodes.get(pid)
+        if node is None:
+            return False
+        for key in self._keys(register_id):
+            if key in node.stable and node.stable.corrupt(key, seed):
+                self.corruptions_injected += 1
+                if self.on_corrupt is not None:
+                    self.on_corrupt(pid, register_id)
+                return True
+        return False
+
+    def tear(self, pid: ProcessId, register_id: int) -> bool:
+        """Leave a torn (half-written) tail on the register's journal.
+
+        Models a crash mid-append: the record was never acknowledged,
+        and recovery truncates it by framing.  Returns True iff a torn
+        tail was placed (the register has a journal on that brick).
+        """
+        node = self.nodes.get(pid)
+        if node is None:
+            return False
+        for key in self._keys(register_id):
+            if node.stable.tear_journal(key):
+                self.torn_injected += 1
+                return True
+        return False
 
 
 class _TriggerDispatch:

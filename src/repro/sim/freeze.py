@@ -28,6 +28,7 @@ pickling), which the stable store aggregates into the ``size_bytes`` /
 from __future__ import annotations
 
 import pickle
+import zlib
 from typing import Any, Tuple
 
 from ..timestamps import Timestamp
@@ -36,6 +37,8 @@ __all__ = [
     "freeze",
     "thaw",
     "estimate_size",
+    "fingerprint",
+    "flip_bit",
     "register_immutable",
 ]
 
@@ -238,6 +241,162 @@ def thaw(frozen: Any) -> Any:
             return frozen
         return tuple(thawed)
     return frozen
+
+
+def _crc_feed(crc: int, frozen: Any) -> int:
+    """Fold one frozen node (type tag + content) into a running CRC32."""
+    tp = type(frozen)
+    if frozen is None:
+        return zlib.crc32(b"N", crc)
+    if tp is bool:
+        return zlib.crc32(b"T" if frozen else b"F", crc)
+    if tp is int:
+        return zlib.crc32(b"i" + repr(frozen).encode(), crc)
+    if tp is float:
+        return zlib.crc32(b"f" + repr(frozen).encode(), crc)
+    if tp is complex:
+        return zlib.crc32(b"c" + repr(frozen).encode(), crc)
+    if tp is str:
+        return zlib.crc32(b"s" + frozen.encode("utf-8", "surrogatepass"), crc)
+    if tp is bytes:
+        return zlib.crc32(b"b" + frozen, crc)
+    if tp is Timestamp:
+        data = repr(frozen).encode()
+        return zlib.crc32(b"t" + data, crc)
+    if tp is _FrozenTuple:
+        crc = zlib.crc32(b"(", crc)
+        for item in frozen.items:
+            crc = _crc_feed(crc, item)
+        return zlib.crc32(b")", crc)
+    if tp is tuple:
+        crc = zlib.crc32(b"(", crc)
+        for item in frozen:
+            crc = _crc_feed(crc, item)
+        return zlib.crc32(b")", crc)
+    if tp is _FrozenList:
+        crc = zlib.crc32(b"[", crc)
+        for item in frozen.items:
+            crc = _crc_feed(crc, item)
+        return zlib.crc32(b"]", crc)
+    if tp is _FrozenDict:
+        crc = zlib.crc32(b"{", crc)
+        for key, value in frozen.items:
+            crc = _crc_feed(crc, key)
+            crc = _crc_feed(crc, value)
+        return zlib.crc32(b"}", crc)
+    if tp is _FrozenSet or tp is frozenset:
+        items = frozen.items if tp is _FrozenSet else frozen
+        # Sets are unordered; fold element CRCs order-independently.
+        acc = 0
+        for item in items:
+            acc ^= _crc_feed(0, item)
+        return zlib.crc32(b"#" + acc.to_bytes(4, "big"), crc)
+    if tp is _FrozenByteArray:
+        return zlib.crc32(b"B" + frozen.data, crc)
+    if tp is _FrozenPickle:
+        return zlib.crc32(b"P" + frozen.data, crc)
+    if tp in _REGISTERED:
+        # Registered sentinels (e.g. ⊥) are singletons: type identity
+        # is their whole content.
+        return zlib.crc32(b"R" + tp.__name__.encode(), crc)
+    # Unknown immutable leaf admitted by freeze (should not happen).
+    return zlib.crc32(b"?" + repr(frozen).encode(), crc)
+
+
+def fingerprint(frozen: Any) -> int:
+    """CRC32 fingerprint of a frozen snapshot's logical content.
+
+    Deterministic across runs (no ``id()``/hash-seed dependence) and
+    sensitive to any bit-level change in stored payload bytes — the
+    checksum the stable store's corruption envelope is built on.
+    """
+    return _crc_feed(0, frozen)
+
+
+def flip_bit(
+    frozen: Any, seed: int, bytes_only: bool = False
+) -> Tuple[Any, bool]:
+    """Rebuild ``frozen`` with one bit flipped in one payload leaf.
+
+    ``seed`` deterministically picks which ``bytes``/``str`` leaf and
+    which bit.  Returns ``(mutated_snapshot, True)`` on success, or
+    ``(frozen, False)`` when the snapshot holds no flippable payload
+    (no bytes/str/pickle content anywhere; with ``bytes_only``, no
+    byte-typed payload).  Used by fault injection to model a latent
+    sector error: the envelope CRC is *not* updated, so the next
+    verified read detects the damage.
+    """
+    leaves = []
+
+    def collect(node: Any, path: Tuple[int, ...]) -> None:
+        tp = type(node)
+        if tp in (bytes, str) and len(node) > 0:
+            leaves.append((path, node))
+        elif tp in (_FrozenByteArray, _FrozenPickle) and len(node.data) > 0:
+            leaves.append((path, node))
+        elif tp is _FrozenTuple or tp is _FrozenList:
+            for i, item in enumerate(node.items):
+                collect(item, path + (i,))
+        elif tp is tuple:
+            for i, item in enumerate(node):
+                collect(item, path + (i,))
+        elif tp is _FrozenDict:
+            for i, (_key, value) in enumerate(node.items):
+                collect(value, path + (i,))
+
+    collect(frozen, ())
+    # Prefer byte payloads (data blocks — the realistic latent-sector
+    # target) over str leaves like journal record tags: flipping a tag
+    # makes the record *malformed*, which framing catches even without
+    # checksums, whereas payload damage is truly silent.
+    byte_leaves = [
+        (path, leaf) for path, leaf in leaves if type(leaf) is not str
+    ]
+    if byte_leaves or bytes_only:
+        leaves = byte_leaves
+    if not leaves:
+        return frozen, False
+    path, leaf = leaves[seed % len(leaves)]
+
+    def damage(node: Any) -> Any:
+        tp = type(node)
+        if tp is bytes:
+            data = bytearray(node)
+        elif tp is str:
+            data = bytearray(node.encode("utf-8", "surrogatepass"))
+        else:  # _FrozenByteArray / _FrozenPickle
+            data = bytearray(node.data)
+        bit = seed % (len(data) * 8)
+        data[bit // 8] ^= 1 << (bit % 8)
+        if tp is bytes:
+            return bytes(data)
+        if tp is str:
+            # Decode damaged bytes leniently; the point is only that
+            # the content (and hence the CRC) changed.
+            return bytes(data).decode("utf-8", "replace")
+        return tp(bytes(data))
+
+    def rebuild(node: Any, at: Tuple[int, ...]) -> Any:
+        if not at:
+            return damage(node)
+        index, rest = at[0], at[1:]
+        tp = type(node)
+        if tp is _FrozenTuple or tp is _FrozenList:
+            items = list(node.items)
+            items[index] = rebuild(items[index], rest)
+            return tp(tuple(items))
+        if tp is tuple:
+            items = list(node)
+            items[index] = rebuild(items[index], rest)
+            return tuple(items)
+        if tp is _FrozenDict:
+            pairs = list(node.items)
+            key, value = pairs[index]
+            pairs[index] = (key, rebuild(value, rest))
+            return _FrozenDict(tuple(pairs))
+        raise TypeError(f"unexpected node on flip path: {tp!r}")
+
+    return rebuild(frozen, path), True
 
 
 def estimate_size(value: Any) -> int:

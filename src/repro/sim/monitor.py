@@ -130,6 +130,20 @@ class Metrics:
         self.total_retransmissions = 0
         self.ops_started = 0
         self.ops_finished = 0
+        #: Checksum-failed loads detected by replicas (one per register
+        #: quarantined, not per retransmitted reply).
+        self.checksum_failures = 0
+        #: Reads that succeeded by routing around corrupt fragments.
+        self.degraded_reads = 0
+        #: Registers repaired by the scrub daemon's write-back.
+        self.scrub_repairs = 0
+        #: Register sweeps completed by the scrub daemon.
+        self.scrub_scans = 0
+        #: Corruptions first found by the scrubber (vs. by client I/O).
+        self.scrub_detections = 0
+        #: Sum of (repair time - injection/detection time) over scrub
+        #: repairs, for mean time-to-repair reporting.
+        self.scrub_repair_time = 0.0
         self.operations: "List[OpMetrics]" = (
             deque(maxlen=history_limit) if history_limit is not None else []
         )  # type: ignore[assignment]
@@ -224,6 +238,34 @@ class Metrics:
         """Record one request-reply messaging phase."""
         if self._current is not None:
             self._current.round_trips += 1
+
+    def count_checksum_failure(self, count: int = 1) -> None:
+        """Record detection of checksum-failed persistent state."""
+        self.checksum_failures += count
+
+    def count_degraded_read(self) -> None:
+        """Record a read served from < n fragments due to corruption."""
+        self.degraded_reads += 1
+
+    def count_scrub_repair(self, elapsed: float = 0.0) -> None:
+        """Record one scrub-daemon repair taking ``elapsed`` sim time."""
+        self.scrub_repairs += 1
+        self.scrub_repair_time += elapsed
+
+    def count_scrub_scan(self) -> None:
+        """Record one completed scrub verification of a register/brick."""
+        self.scrub_scans += 1
+
+    def count_scrub_detection(self) -> None:
+        """Record a corruption first detected by the scrub daemon."""
+        self.scrub_detections += 1
+
+    @property
+    def mean_time_to_repair(self) -> float:
+        """Mean sim-time between detection and repair for scrub repairs."""
+        if not self.scrub_repairs:
+            return 0.0
+        return self.scrub_repair_time / self.scrub_repairs
 
     # -- reporting -------------------------------------------------------
 

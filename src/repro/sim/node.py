@@ -11,11 +11,11 @@ recovery.
 from __future__ import annotations
 
 import copy
-from typing import Any, Callable, Dict, Generator, List, Optional
+from typing import Any, Callable, Dict, Generator, List, Optional, Set
 
-from ..errors import ConfigurationError, StorageError
+from ..errors import ConfigurationError, CorruptionDetected, StorageError
 from ..types import ProcessId
-from .freeze import estimate_size, freeze, thaw
+from .freeze import estimate_size, fingerprint, flip_bit, freeze, thaw
 from .kernel import Environment, Process
 from .monitor import Metrics
 from .network import Message, Network
@@ -24,12 +24,33 @@ __all__ = ["StableStore", "Node"]
 
 
 class _JournalCell:
-    """A journalled key: an append-only list of frozen delta records."""
+    """A journalled key: an append-only list of frozen delta records.
 
-    __slots__ = ("records",)
+    ``crcs`` runs parallel to ``records``: the CRC32 envelope of each
+    record at append time (``None`` for a torn tail, which carries no
+    valid envelope by definition).
+    """
+
+    __slots__ = ("records", "crcs")
 
     def __init__(self) -> None:
         self.records: List[Any] = []
+        self.crcs: List[Optional[int]] = []
+
+
+class _TornRecord:
+    """A half-written trailing journal record (torn write).
+
+    Appended when a crash lands mid-append: the record was never
+    acknowledged, its framing is incomplete, and recovery detects and
+    truncates it by length/framing alone — no checksum needed.  Its
+    payload is never thawed.
+    """
+
+    __slots__ = ()
+
+
+_TORN = _TornRecord()
 
 
 class StableStore:
@@ -59,6 +80,18 @@ class StableStore:
     counts payload bytes physically duplicated (buffer copies and pickle
     blobs), which the copy-on-write path drives to near zero.
 
+    **Corruption envelope** (``"cow"`` mode only): every stored value
+    and journal record carries a CRC32 fingerprint computed at write
+    time.  Reads re-verify when ``verify_checksums`` is true (default):
+    a mismatch quarantines the key and raises
+    :class:`~repro.errors.CorruptionDetected` instead of thawing
+    garbage.  A torn trailing journal record (:meth:`tear_journal`) is
+    detected by framing and silently truncated at the next read or
+    append — the paper's recovery path never sees it.  The
+    ``verify_checksums=False`` escape hatch disables only the *read
+    check* (envelopes are still written), modelling a store without
+    end-to-end verification; injected corruption then flows to clients.
+
     Disk I/O is *not* counted here; the replica layer counts logical
     block reads/writes per the paper's accounting (timestamps live in
     NVRAM and are free).
@@ -66,26 +99,36 @@ class StableStore:
 
     __slots__ = (
         "mode",
+        "verify_checksums",
         "_data",
+        "_crcs",
         "_sizes",
         "_size_bytes",
         "store_count",
         "load_count",
         "bytes_copied",
+        "checksum_failures",
+        "torn_dropped",
+        "quarantined",
     )
 
-    def __init__(self, mode: str = "cow") -> None:
+    def __init__(self, mode: str = "cow", verify_checksums: bool = True) -> None:
         if mode not in ("cow", "deepcopy"):
             raise ConfigurationError(
                 f"unknown StableStore mode {mode!r}; want 'cow' or 'deepcopy'"
             )
         self.mode = mode
+        self.verify_checksums = verify_checksums
         self._data: Dict[str, Any] = {}
+        self._crcs: Dict[str, int] = {}
         self._sizes: Dict[str, int] = {}
         self._size_bytes = 0
         self.store_count = 0
         self.load_count = 0
         self.bytes_copied = 0
+        self.checksum_failures = 0
+        self.torn_dropped = 0
+        self.quarantined: Set[str] = set()
 
     # -- bookkeeping -------------------------------------------------------
 
@@ -98,27 +141,42 @@ class StableStore:
     def store(self, key: str, value: Any) -> None:
         """Atomically persist ``value`` under ``key`` (replacing it)."""
         self.store_count += 1
+        self.quarantined.discard(key)  # overwrite repairs a bad cell
         if self.mode == "deepcopy":
             size = estimate_size(value)
             self._data[key] = copy.deepcopy(value)
+            self._crcs.pop(key, None)
             self.bytes_copied += size
         else:
             frozen, size, copied = freeze(value)
             self._data[key] = frozen
+            self._crcs[key] = fingerprint(frozen)
             self.bytes_copied += copied
         self._account(key, size)
 
     def load(self, key: str, default: Any = None) -> Any:
-        """Recover the most recently stored value (detached from disk)."""
+        """Recover the most recently stored value (detached from disk).
+
+        Raises :class:`CorruptionDetected` if the stored envelope fails
+        its checksum and ``verify_checksums`` is on.
+        """
         if key not in self._data:
             return default
         self.load_count += 1
         stored = self._data[key]
         if type(stored) is _JournalCell:
-            return [thaw(record) for record in stored.records]
+            return self._read_journal(key, stored)
         if self.mode == "deepcopy":
             self.bytes_copied += self._sizes.get(key, 0)
             return copy.deepcopy(stored)
+        if self.verify_checksums:
+            crc = self._crcs.get(key)
+            if crc is not None and fingerprint(stored) != crc:
+                self.checksum_failures += 1
+                self.quarantined.add(key)
+                raise CorruptionDetected(
+                    f"checksum mismatch loading key {key!r}", key=key
+                )
         return thaw(stored)
 
     # -- journalled keys ---------------------------------------------------
@@ -131,22 +189,52 @@ class StableStore:
         value under the same key discards the journal.
         """
         self.store_count += 1
+        self.quarantined.discard(key)
         cell = self._data.get(key)
         if type(cell) is not _JournalCell:
             cell = _JournalCell()
             self._data[key] = cell
+            self._crcs.pop(key, None)
             self._account(key, 0)  # release any plain value it replaces
+        if cell.records and type(cell.records[-1]) is _TornRecord:
+            # A fresh append overwrites the torn tail on disk.
+            cell.records.pop()
+            cell.crcs.pop()
         frozen, size, copied = freeze(record)
         cell.records.append(frozen)
+        cell.crcs.append(fingerprint(frozen) if self.mode == "cow" else None)
         self.bytes_copied += copied
         self._account(key, self._sizes.get(key, 0) + size)
 
     def load_journal(self, key: str) -> List[Any]:
-        """All records appended under ``key`` (empty if none)."""
+        """All records appended under ``key`` (empty if none).
+
+        A torn trailing record is truncated (counted in
+        ``torn_dropped``), never returned.  With ``verify_checksums``
+        on, any record failing its envelope quarantines the key and
+        raises :class:`CorruptionDetected`.
+        """
         cell = self._data.get(key)
         if type(cell) is not _JournalCell:
             return []
         self.load_count += 1
+        return self._read_journal(key, cell)
+
+    def _read_journal(self, key: str, cell: _JournalCell) -> List[Any]:
+        if cell.records and type(cell.records[-1]) is _TornRecord:
+            # Torn tail: framing is incomplete, so recovery truncates it
+            # regardless of checksum verification.
+            cell.records.pop()
+            cell.crcs.pop()
+            self.torn_dropped += 1
+        if self.verify_checksums:
+            for record, crc in zip(cell.records, cell.crcs):
+                if crc is not None and fingerprint(record) != crc:
+                    self.checksum_failures += 1
+                    self.quarantined.add(key)
+                    raise CorruptionDetected(
+                        f"checksum mismatch in journal {key!r}", key=key
+                    )
         return [thaw(record) for record in cell.records]
 
     def journal_len(self, key: str) -> int:
@@ -158,17 +246,102 @@ class StableStore:
 
     def reset_journal(self, key: str, records: Any = ()) -> None:
         """Atomically replace the journal with ``records`` (compaction)."""
+        self.quarantined.discard(key)
         cell = _JournalCell()
         self._data[key] = cell
+        self._crcs.pop(key, None)
         self._account(key, 0)  # release the journal being replaced
         size = 0
         for record in records:
             self.store_count += 1
             frozen, record_size, copied = freeze(record)
             cell.records.append(frozen)
+            cell.crcs.append(
+                fingerprint(frozen) if self.mode == "cow" else None
+            )
             self.bytes_copied += copied
             size += record_size
         self._account(key, size)
+
+    # -- corruption: verification and fault injection ----------------------
+
+    def verify(self, key: str) -> bool:
+        """Check ``key``'s envelope without loading or raising.
+
+        True for absent keys, unchecksummed (deepcopy-mode) cells, and
+        clean cells; False exactly when a checksum mismatch exists.  A
+        torn tail is not corruption (it self-truncates on read).  The
+        scrubber's detection primitive: cheap, side-effect-free.
+        """
+        stored = self._data.get(key)
+        if stored is None:
+            return True
+        if type(stored) is _JournalCell:
+            records, crcs = stored.records, stored.crcs
+            if records and type(records[-1]) is _TornRecord:
+                records, crcs = records[:-1], crcs[:-1]
+            return all(
+                crc is None or fingerprint(record) == crc
+                for record, crc in zip(records, crcs)
+            )
+        crc = self._crcs.get(key)
+        return crc is None or fingerprint(stored) == crc
+
+    def corrupt(self, key: str, seed: int = 0) -> bool:
+        """Inject a silent bit flip into ``key``'s stored payload.
+
+        Deterministically (by ``seed``) picks a payload leaf and flips
+        one bit *without* updating the envelope, modelling a latent
+        sector error.  Returns True if a bit was flipped (False when the
+        key is absent or holds no flippable payload).
+        """
+        stored = self._data.get(key)
+        if stored is None:
+            return False
+        if type(stored) is _JournalCell:
+            real = [
+                i
+                for i, record in enumerate(stored.records)
+                if type(record) is not _TornRecord
+            ]
+            if not real:
+                return False
+            # Only records with byte payloads (data blocks) are
+            # flippable: damaging a record *tag* makes the journal
+            # malformed — a framing error, not the silent rot this
+            # models — and with verification disabled it would surface
+            # as a replay exception instead of garbage data.  Newest
+            # first, so the damage lands in the record reads actually
+            # decode (detection doesn't care — the whole cell is
+            # verified — but the escape-hatch demonstration does).
+            for index in reversed(real):
+                mutated, flipped = flip_bit(
+                    stored.records[index], seed, bytes_only=True
+                )
+                if flipped:
+                    stored.records[index] = mutated
+                    return True
+            return False
+        mutated, flipped = flip_bit(stored, seed)
+        if flipped:
+            self._data[key] = mutated
+        return flipped
+
+    def tear_journal(self, key: str) -> bool:
+        """Append a torn (half-written) record to ``key``'s journal.
+
+        Models a crash landing mid-append: the record was never
+        acknowledged and carries no valid framing, so the next read or
+        append truncates it.  Returns True if a torn tail was placed.
+        """
+        cell = self._data.get(key)
+        if type(cell) is not _JournalCell:
+            return False
+        if cell.records and type(cell.records[-1]) is _TornRecord:
+            return False  # already torn
+        cell.records.append(_TORN)
+        cell.crcs.append(None)
+        return True
 
     # -- inspection --------------------------------------------------------
 
@@ -194,6 +367,8 @@ class Node:
         metrics: metric sink shared with the network.
         store_mode: :class:`StableStore` mode (``"cow"`` or the seed's
             ``"deepcopy"``).
+        verify_checksums: verify stable-store envelopes on read
+            (default True; False is the corruption escape hatch).
     """
 
     def __init__(
@@ -203,12 +378,15 @@ class Node:
         process_id: ProcessId,
         metrics: Optional[Metrics] = None,
         store_mode: str = "cow",
+        verify_checksums: bool = True,
     ) -> None:
         self.env = env
         self.network = network
         self.process_id = process_id
         self.metrics = metrics or network.metrics
-        self.stable = StableStore(mode=store_mode)
+        self.stable = StableStore(
+            mode=store_mode, verify_checksums=verify_checksums
+        )
         self._up = True
         self._handlers: Dict[type, Callable[[ProcessId, Any], None]] = {}
         self._owned_processes: List[Process] = []

@@ -40,9 +40,41 @@ class TestSuite:
         assert payload["benchmark"] == "campaign"
         assert payload["config"]["m"] == QUICK.m
         assert payload["config"]["n"] == QUICK.n
+        for key in ("corrupt_weight", "verify_checksums", "scrub_enabled"):
+            assert key in payload["config"]
         result = payload["results"][0]
         for key in (
             "seed", "ok", "violations", "ops", "schedule_events",
             "recoveries_checked", "blocks_checked", "sim_time",
+            "reads_verified", "corruption",
         ):
             assert key in result
+        # The corruption-resilience counters are part of the artifact
+        # contract even on corruption-free runs (all zeros there).
+        for counter in (
+            "corruptions_injected", "torn_injected", "checksum_failures",
+            "degraded_reads", "scrub_repairs",
+        ):
+            assert counter in result["corruption"]
+
+    def test_corrupting_sweep_counters(self):
+        config = CampaignConfig(
+            duration=200.0, ops_per_client=12, clients=2,
+            corrupt_weight=2.0, scrub_enabled=True,
+        )
+        suite = run_suite(config, seeds=[0, 1])
+        assert suite.ok  # checksums on: corruption never violates
+        payload = json.loads(to_json(suite))
+        injected = sum(
+            r["corruption"]["corruptions_injected"]
+            for r in payload["results"]
+        )
+        detected = sum(
+            r["corruption"]["checksum_failures"]
+            for r in payload["results"]
+        )
+        assert injected > 0
+        assert detected > 0
+        report = render_report(suite)
+        assert "corruption:" in report
+        assert "[scrub on]" in report

@@ -4,7 +4,7 @@ import pytest
 
 from repro import RouteOptions, VolumeSession, open_volume
 from repro.core.client import RetryPolicy
-from repro.errors import ConfigurationError, StorageError
+from repro.errors import ConfigurationError, CorruptionDetected, StorageError
 from repro.types import ABORT
 
 
@@ -323,3 +323,63 @@ def test_session_stats_aggregate_into_metrics():
     assert summary["sessions"] == 1
     assert summary["ops_completed"] == session.stats.ops_completed
     assert summary["peak_inflight"] == session.stats.peak_inflight
+
+
+# -- corruption ---------------------------------------------------------------
+
+
+def flaky_corrupt_spawner(real, failures):
+    """Wrap ``_spawn_attempt`` to raise CorruptionDetected N times."""
+
+    def spawn(self, op, pid):
+        if failures["left"] > 0:
+            failures["left"] -= 1
+
+            def quarantined():
+                raise CorruptionDetected(
+                    f"p{pid}: register {op.register_id} quarantined"
+                )
+                yield  # pragma: no cover - makes this a process
+
+            return self.env.process(quarantined())
+        return real(self, op, pid)
+
+    return spawn
+
+
+def test_corruption_detected_is_retryable(monkeypatch):
+    # A coordinator that trips over its quarantined local state must
+    # not fail the op: the session retries on another brick.
+    volume = open_volume(m=3, n=5, blocks=12, block_size=32, seed=21)
+    session = volume.session(retry=RetryPolicy(attempts=5, backoff=1.0))
+    session.write(0, b"\x09" * 32)
+
+    failures = {"left": 2}
+    monkeypatch.setattr(
+        VolumeSession, "_spawn_attempt",
+        flaky_corrupt_spawner(VolumeSession._spawn_attempt, failures),
+    )
+    op = session.submit_read(0)
+    session.drain()
+    assert op.ok
+    assert op.result == b"\x09" * 32
+    assert op.retries == 2
+    assert session.stats.retries >= 2
+
+
+def test_corruption_detected_exhausts_to_abort(monkeypatch):
+    # If every coordinator keeps reporting corruption, the op finishes
+    # as a clean abort (retryable classification), never as "failed".
+    volume = open_volume(m=3, n=5, blocks=12, block_size=32, seed=22)
+    session = volume.session(retry=RetryPolicy(attempts=3, backoff=1.0))
+
+    failures = {"left": 10**9}
+    monkeypatch.setattr(
+        VolumeSession, "_spawn_attempt",
+        flaky_corrupt_spawner(VolumeSession._spawn_attempt, failures),
+    )
+    op = session.submit_read(0)
+    session.drain()
+    assert op.status == "aborted"
+    assert op.value is ABORT
+    assert session.stats.aborts_exhausted == 1
