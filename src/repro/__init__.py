@@ -29,6 +29,8 @@ Subpackages:
 * :mod:`repro.erasure` — encode / decode / modify primitives.
 * :mod:`repro.quorum` — m-quorum systems and Theorem 2.
 * :mod:`repro.sim` — event loop, fair-loss network, crash-recovery nodes.
+* :mod:`repro.transport` — the substrate API: deterministic sim or
+  asyncio sockets behind one protocol-facing interface.
 * :mod:`repro.baselines` — LS97-style replication, centralized RAID.
 * :mod:`repro.verify` — (strict) linearizability checking.
 * :mod:`repro.reliability` — MTTDL / storage-overhead models (Figs 2-3).
@@ -51,6 +53,7 @@ from .core import (
     VolumeSession,
 )
 from .erasure import ErasureCode, make_code
+from .transport import Endpoint, SimTransport, Transport, make_transport
 from .quorum import MajorityMQuorumSystem, mquorum_exists
 from .timestamps import HIGH_TS, LOW_TS, Timestamp, TimestampSource
 from .types import ABORT, NIL, Block, StripeConfig
@@ -71,6 +74,10 @@ __all__ = [
     "RouteOptions",
     "Coordinator",
     "Replica",
+    "Transport",
+    "SimTransport",
+    "Endpoint",
+    "make_transport",
     "ErasureCode",
     "make_code",
     "MajorityMQuorumSystem",

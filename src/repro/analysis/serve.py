@@ -1,0 +1,171 @@
+"""The ``repro serve`` load driver: a cluster under real concurrency.
+
+Hosts a FAB cluster on an :class:`~repro.transport.aio.AsyncioTransport`
+(in-process loopback by default, TCP framing optionally) and drives it
+with many concurrent :class:`~repro.core.session.VolumeSession` clients
+— the "millions of users" configuration the sim cannot exercise,
+running the very same protocol code the deterministic campaigns verify.
+
+Each client owns one stripe of a shared volume (with ``stripe_shuffle``
+client ``c``'s logical blocks are ``c + k * clients``), so sessions
+never contend on a register: any failed session indicates a transport
+or protocol defect, not workload-induced aborts.  Clients alternate
+writes and read-backs and verify every read against the last value they
+wrote.
+
+Results land in ``benchmarks/out/BENCH_serve.json``: ops/s plus p50/p99
+operation latency in milliseconds (one transport time unit is one
+millisecond at the default ``time_scale``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import pathlib
+import time
+from typing import Optional
+
+from ..core.cluster import ClusterConfig, FabCluster
+from ..core.volume import LogicalVolume
+from ..errors import ConfigurationError
+from ..transport.aio import AsyncioTransport
+
+__all__ = ["run_serve"]
+
+
+def _percentile(sorted_values, q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[index]
+
+
+def _client_payload(client: int, op_index: int, block_size: int) -> bytes:
+    return (f"c{client}.{op_index}.".encode() * block_size)[:block_size]
+
+
+async def _serve(
+    clients: int,
+    ops_per_client: int,
+    mode: str,
+    m: int,
+    n: int,
+    block_size: int,
+    max_inflight: int,
+    base_port: int,
+) -> dict:
+    transport = AsyncioTransport(mode=mode, base_port=base_port)
+    cluster = FabCluster(
+        ClusterConfig(
+            m=m, n=n, block_size=block_size, transport="asyncio"
+        ),
+        transport=transport,
+    )
+    volume = LogicalVolume(cluster, num_stripes=clients)
+    await transport.start()
+    start = time.monotonic()
+    try:
+        sessions = []
+        expected = []
+        for client in range(clients):
+            session = volume.session(max_inflight=max_inflight, seed=client)
+            reads = []
+            last_value = {}
+            for op_index in range(ops_per_client):
+                # Walk the client's own stripe units; write first so
+                # every read-back has a known expected value.
+                block = client + ((op_index // 2) % m) * clients
+                if op_index % 2 == 0 or block not in last_value:
+                    value = _client_payload(client, op_index, block_size)
+                    session.submit_write(block, value)
+                    last_value[block] = value
+                else:
+                    reads.append((session.submit_read(block), last_value[block]))
+            sessions.append(session)
+            expected.append(reads)
+        await asyncio.gather(
+            *(session.drain_async() for session in sessions)
+        )
+    finally:
+        wall = time.monotonic() - start
+        await transport.stop()
+
+    failed_sessions = 0
+    failed_ops = 0
+    latencies = []
+    total_ops = 0
+    for session, reads in zip(sessions, expected):
+        session_ok = True
+        for op in session.ops:
+            total_ops += 1
+            if not op.ok:
+                failed_ops += 1
+                session_ok = False
+            if op.finished_at is not None:
+                latencies.append(op.finished_at - op.submitted_at)
+        for op, value in reads:
+            if op.ok and op.value != value:
+                failed_ops += 1
+                session_ok = False
+        if not session_ok:
+            failed_sessions += 1
+    latencies.sort()
+    return {
+        "benchmark": "serve",
+        "mode": mode,
+        "clients": clients,
+        "ops_per_client": ops_per_client,
+        "total_ops": total_ops,
+        "m": m,
+        "n": n,
+        "block_size": block_size,
+        "max_inflight": max_inflight,
+        "wall_seconds": round(wall, 3),
+        "ops_per_sec": round(total_ops / wall, 1) if wall > 0 else 0.0,
+        "p50_ms": round(_percentile(latencies, 0.50), 3),
+        "p99_ms": round(_percentile(latencies, 0.99), 3),
+        "failed_sessions": failed_sessions,
+        "failed_ops": failed_ops,
+    }
+
+
+def run_serve(
+    clients: int = 100,
+    ops_per_client: int = 4,
+    mode: str = "loopback",
+    m: int = 3,
+    n: int = 5,
+    block_size: int = 64,
+    max_inflight: int = 4,
+    base_port: int = 7420,
+    json_out: Optional[str] = None,
+) -> dict:
+    """Host a cluster on the asyncio transport and load it with clients.
+
+    Returns the result dict (also written to ``json_out`` when given).
+    ``failed_sessions`` must be zero on a healthy run.
+    """
+    if clients < 1:
+        raise ConfigurationError(f"clients must be >= 1, got {clients}")
+    if ops_per_client < 1:
+        raise ConfigurationError(
+            f"ops per client must be >= 1, got {ops_per_client}"
+        )
+    result = asyncio.run(
+        _serve(
+            clients=clients,
+            ops_per_client=ops_per_client,
+            mode=mode,
+            m=m,
+            n=n,
+            block_size=block_size,
+            max_inflight=max_inflight,
+            base_port=base_port,
+        )
+    )
+    if json_out is not None:
+        path = pathlib.Path(json_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(result, indent=2) + "\n")
+    return result

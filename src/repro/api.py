@@ -75,13 +75,23 @@ def open_cluster(m: int = 3, n: int = 5, **knobs) -> FabCluster:
         m / n: erasure-code parameters (m data blocks, n bricks).
         **knobs: any field of :class:`ClusterConfig` (``block_size``,
             ``seed``, ``f``, ``code_kind``, ``clock_skews``, disk
-            latencies), :class:`NetworkConfig` (``min_latency``,
-            ``max_latency``, ``drop_probability``, ...), or
-            :class:`CoordinatorConfig` (``gc_enabled``, ``op_timeout``,
-            ``delta_updates``, ...), routed automatically.
+            latencies, ``transport``), :class:`NetworkConfig`
+            (``min_latency``, ``max_latency``, ``drop_probability``,
+            ...), or :class:`CoordinatorConfig` (``gc_enabled``,
+            ``op_timeout``, ``delta_updates``, ...), routed
+            automatically.
+
+    ``transport`` selects the substrate — ``"sim"`` (deterministic
+    discrete-event kernel, default), ``"asyncio"`` (wall-clock loopback,
+    drive it with the async session API or ``repro serve``), or
+    ``"asyncio-tcp"`` (wall-clock over sockets).  This is the single
+    public construction path: ``open_cluster(transport="sim")`` and
+    ``open_cluster(transport="asyncio")`` build the same protocol stack
+    on different substrates.
 
     The network's ``jitter_seed`` defaults to the cluster ``seed`` so a
-    single knob makes the whole run reproducible.
+    single knob makes the whole run reproducible (the network simulation
+    knobs apply only to ``transport="sim"``).
     """
     cluster_kw, network_kw, coordinator_kw = _split_knobs(knobs)
     network_kw.setdefault("jitter_seed", cluster_kw.get("seed", 0))

@@ -16,12 +16,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from ..core.routing import RouteOptions, resolve_route
 from ..errors import ConfigurationError
-from ..sim.kernel import Environment
 from ..sim.monitor import Metrics
-from ..sim.network import Network, NetworkConfig
+from ..sim.network import NetworkConfig
 from ..sim.node import Node
 from ..timestamps import TimestampSource
+from ..transport.sim import SimTransport
 from ..types import Block, ProcessId
 from .ls97 import OK, QueryReq, StoreReq, _Ls97Coordinator, _Ls97Replica
 
@@ -72,33 +73,46 @@ class AbdCluster:
     def __init__(self, config: Optional[AbdConfig] = None) -> None:
         self.config = config or AbdConfig()
         cfg = self.config
-        self.env = Environment()
         self.metrics = Metrics()
-        self.network = Network(self.env, cfg.network, self.metrics)
+        self.transport = SimTransport(config=cfg.network, metrics=self.metrics)
+        self.env = self.transport.env
+        self.network = self.transport.network
         self.nodes: Dict[ProcessId, Node] = {}
         self.coordinators: Dict[ProcessId, _AbdCoordinator] = {}
         for pid in range(1, cfg.n + 1):
-            node = Node(self.env, self.network, pid, self.metrics)
+            node = Node(
+                transport=self.transport, process_id=pid, metrics=self.metrics
+            )
             self.nodes[pid] = node
             _Ls97Replica(node)
             self.coordinators[pid] = _AbdCoordinator(
-                node, cfg.n, TimestampSource(pid, clock=lambda: self.env.now)
+                node, cfg.n, TimestampSource(pid, clock=self.transport.now)
             )
 
     def write(self, register_id: int, value: Block):
         """Blocking write — only the designated writer may call this."""
         coordinator = self.coordinators[self.config.writer_pid]
         process = coordinator.node.spawn(coordinator.write(register_id, value))
-        return self.env.run_until_complete(process)
+        return self.transport.run_until_complete(process)
 
-    def read(self, register_id: int, coordinator_pid: Optional[ProcessId] = None):
-        """Blocking read from any process."""
-        pid = coordinator_pid or 1
+    def read(
+        self,
+        register_id: int,
+        route=None,
+        *,
+        coordinator_pid: Optional[ProcessId] = None,
+    ):
+        """Blocking read from any process (``route`` picks it)."""
+        resolved = resolve_route(
+            route, coordinator_pid,
+            default=RouteOptions(coordinator=1), stacklevel=3,
+        )
+        pid = resolved.coordinator if resolved.coordinator is not None else 1
         if pid not in self.coordinators:
             raise ConfigurationError(f"no process {pid}")
         coordinator = self.coordinators[pid]
         process = coordinator.node.spawn(coordinator.read(register_id))
-        return self.env.run_until_complete(process)
+        return self.transport.run_until_complete(process)
 
     def crash(self, pid: ProcessId) -> None:
         self.nodes[pid].crash()

@@ -30,11 +30,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from ..sim.kernel import Environment
+from ..core.routing import RouteOptions, resolve_route
 from ..sim.monitor import Metrics
-from ..sim.network import Network, NetworkConfig
+from ..sim.network import NetworkConfig
 from ..sim.node import Node
 from ..timestamps import LOW_TS, Timestamp, TimestampSource
+from ..transport.sim import SimTransport
 from ..types import Block, ProcessId
 
 __all__ = ["Ls97Cluster", "Ls97Config"]
@@ -237,31 +238,55 @@ class Ls97Cluster:
     def __init__(self, config: Optional[Ls97Config] = None) -> None:
         self.config = config or Ls97Config()
         cfg = self.config
-        self.env = Environment()
         self.metrics = Metrics()
-        self.network = Network(self.env, cfg.network, self.metrics)
+        self.transport = SimTransport(config=cfg.network, metrics=self.metrics)
+        self.env = self.transport.env
+        self.network = self.transport.network
         self.nodes: Dict[ProcessId, Node] = {}
         self.replicas: Dict[ProcessId, _Ls97Replica] = {}
         self.coordinators: Dict[ProcessId, _Ls97Coordinator] = {}
         for pid in range(1, cfg.n + 1):
-            node = Node(self.env, self.network, pid, self.metrics)
+            node = Node(
+                transport=self.transport, process_id=pid, metrics=self.metrics
+            )
             self.nodes[pid] = node
             self.replicas[pid] = _Ls97Replica(node)
             self.coordinators[pid] = _Ls97Coordinator(
-                node, cfg.n, TimestampSource(pid, clock=lambda: self.env.now)
+                node, cfg.n, TimestampSource(pid, clock=self.transport.now)
             )
 
-    def read(self, register_id: int, coordinator_pid: ProcessId = 1):
-        """Blocking read via the given coordinator."""
-        coordinator = self.coordinators[coordinator_pid]
-        process = coordinator.node.spawn(coordinator.read(register_id))
-        return self.env.run_until_complete(process)
+    def _coordinator(self, route, coordinator_pid) -> _Ls97Coordinator:
+        resolved = resolve_route(
+            route, coordinator_pid,
+            default=RouteOptions(coordinator=1), stacklevel=4,
+        )
+        pid = resolved.coordinator if resolved.coordinator is not None else 1
+        return self.coordinators[pid]
 
-    def write(self, register_id: int, value: Block, coordinator_pid: ProcessId = 1):
-        """Blocking write via the given coordinator."""
-        coordinator = self.coordinators[coordinator_pid]
+    def read(
+        self,
+        register_id: int,
+        route=None,
+        *,
+        coordinator_pid: Optional[ProcessId] = None,
+    ):
+        """Blocking read via ``route``'s coordinator (default brick 1)."""
+        coordinator = self._coordinator(route, coordinator_pid)
+        process = coordinator.node.spawn(coordinator.read(register_id))
+        return self.transport.run_until_complete(process)
+
+    def write(
+        self,
+        register_id: int,
+        value: Block,
+        route=None,
+        *,
+        coordinator_pid: Optional[ProcessId] = None,
+    ):
+        """Blocking write via ``route``'s coordinator (default brick 1)."""
+        coordinator = self._coordinator(route, coordinator_pid)
         process = coordinator.node.spawn(coordinator.write(register_id, value))
-        return self.env.run_until_complete(process)
+        return self.transport.run_until_complete(process)
 
     def crash(self, pid: ProcessId) -> None:
         self.nodes[pid].crash()

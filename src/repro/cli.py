@@ -282,6 +282,34 @@ def _campaign(args: argparse.Namespace) -> int:
     return 0 if suite.ok else 1
 
 
+def _serve(args: argparse.Namespace) -> int:
+    from .analysis.serve import run_serve
+
+    result = run_serve(
+        clients=args.clients,
+        ops_per_client=args.ops,
+        mode=args.mode,
+        m=args.m,
+        n=args.n,
+        block_size=args.block_size,
+        max_inflight=args.inflight,
+        base_port=args.port,
+        json_out=args.json_out,
+    )
+    print(
+        f"serve[{result['mode']}]: {result['clients']} clients x "
+        f"{result['ops_per_client']} ops = {result['total_ops']} ops "
+        f"in {result['wall_seconds']}s ({result['ops_per_sec']} ops/s)"
+    )
+    print(
+        f"latency: p50={result['p50_ms']}ms p99={result['p99_ms']}ms; "
+        f"failed sessions: {result['failed_sessions']}, "
+        f"failed ops: {result['failed_ops']}"
+    )
+    print(f"JSON artifact written to {args.json_out}")
+    return 0 if result["failed_sessions"] == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -432,6 +460,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the text report to this file",
     )
     campaign.set_defaults(func=_campaign)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="host a cluster on the asyncio transport and load it with "
+             "concurrent sessions",
+    )
+    serve.add_argument(
+        "--clients", type=int, default=100,
+        help="concurrent volume sessions (one stripe each)",
+    )
+    serve.add_argument(
+        "--ops", type=int, default=4, help="operations per client"
+    )
+    serve.add_argument(
+        "--mode", choices=("loopback", "tcp"), default="loopback",
+        help="asyncio substrate: in-process loopback or TCP framing",
+    )
+    serve.add_argument("--m", type=int, default=3)
+    serve.add_argument("--n", type=int, default=5)
+    serve.add_argument("--block-size", type=int, default=64)
+    serve.add_argument(
+        "--inflight", type=int, default=4,
+        help="max operations in flight per session",
+    )
+    serve.add_argument(
+        "--port", type=int, default=7420,
+        help="base TCP port (brick pid p listens on port + p - 1)",
+    )
+    serve.add_argument(
+        "--json", dest="json_out", type=str,
+        default="benchmarks/out/BENCH_serve.json",
+        help="path for the machine-readable JSON artifact",
+    )
+    serve.set_defaults(func=_serve)
 
     return parser
 

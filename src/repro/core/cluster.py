@@ -26,16 +26,18 @@ from typing import Dict, Optional
 from ..erasure.registry import make_code
 from ..errors import ConfigurationError
 from ..quorum.system import MajorityMQuorumSystem
-from ..sim.kernel import Environment
 from ..sim.monitor import Metrics
-from ..sim.network import Network, NetworkConfig
+from ..sim.network import NetworkConfig
 from ..sim.node import Node
 from ..timestamps import TimestampSource
+from ..transport import make_transport
+from ..transport.base import Transport
 from ..types import ProcessId
 from .coordinator import Coordinator, CoordinatorConfig
 from .gc import GarbageCollector
 from .register import StorageRegister
 from .replica import Replica
+from .routing import RouteOptions, resolve_route
 
 __all__ = ["ClusterConfig", "FabCluster"]
 
@@ -71,6 +73,11 @@ class ClusterConfig:
         metrics_history_limit: cap on retained per-operation metric
             records (None = unlimited); long benchmark runs set a limit
             so metric history stays O(1) in run length.
+        transport: message/timer substrate — ``"sim"`` (deterministic
+            discrete-event kernel, default), ``"asyncio"`` (wall-clock
+            in-process loopback), or ``"asyncio-tcp"`` (wall-clock over
+            real sockets).  The ``network`` simulation knobs apply only
+            to ``"sim"``.
         seed: master seed; node-level randomness derives from it.
         allow_unsafe_f: permit ``f`` beyond the Theorem 2 bound
             ``floor((n - m) / 2)`` — builds a quorum system whose
@@ -90,6 +97,7 @@ class ClusterConfig:
     disk_write_latency: float = 0.0
     store_mode: str = "cow"
     persistence: str = "journal"
+    transport: str = "sim"
     verify_checksums: bool = True
     metrics_history_limit: Optional[int] = None
     seed: int = 0
@@ -99,14 +107,30 @@ class ClusterConfig:
 class FabCluster:
     """A federated array of ``n`` bricks running the storage register."""
 
-    def __init__(self, config: Optional[ClusterConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[ClusterConfig] = None,
+        transport: Optional[Transport] = None,
+    ) -> None:
         self.config = config or ClusterConfig()
         cfg = self.config
         if cfg.n < cfg.m:
             raise ConfigurationError(f"need n >= m, got n={cfg.n}, m={cfg.m}")
-        self.env = Environment()
         self.metrics = Metrics(history_limit=cfg.metrics_history_limit)
-        self.network = Network(self.env, cfg.network, self.metrics)
+        if transport is None:
+            if cfg.transport == "sim":
+                transport = make_transport(
+                    "sim", network_config=cfg.network, metrics=self.metrics
+                )
+            else:
+                transport = make_transport(cfg.transport, metrics=self.metrics)
+        if transport.metrics is None:
+            # An externally built transport adopts the cluster's sink so
+            # message counts land in the same place as op metrics.
+            transport.metrics = self.metrics
+        self.transport = transport
+        self.env = transport.env
+        self.network = getattr(transport, "network", None)
         self.code = make_code(cfg.m, cfg.n, cfg.code_kind)
         self.quorum_system = MajorityMQuorumSystem(
             cfg.n, cfg.m, cfg.f, enforce_bound=not cfg.allow_unsafe_f
@@ -117,7 +141,9 @@ class FabCluster:
         master = random.Random(cfg.seed)
         for pid in range(1, cfg.n + 1):
             node = Node(
-                self.env, self.network, pid, self.metrics,
+                transport=self.transport,
+                process_id=pid,
+                metrics=self.metrics,
                 store_mode=cfg.store_mode,
                 verify_checksums=cfg.verify_checksums,
             )
@@ -129,7 +155,7 @@ class FabCluster:
             )
             ts_source = TimestampSource(
                 pid,
-                clock=lambda: self.env.now,
+                clock=self.transport.now,
                 skew=cfg.clock_skews.get(pid, 0.0),
             )
             coordinator = Coordinator(
@@ -159,22 +185,21 @@ class FabCluster:
     def register(
         self,
         register_id: int,
-        coordinator_pid: Optional[ProcessId] = None,
         route=None,
+        *,
+        coordinator_pid: Optional[ProcessId] = None,
     ) -> StorageRegister:
         """A register handle for stripe ``register_id``.
 
-        Any brick can coordinate; pass different ``coordinator_pid``
-        values (or ``route=RouteOptions(coordinator=...)``) to exercise
-        multi-controller access to the same stripe.  Defaults to
-        brick 1.
+        Any brick can coordinate; pass ``route=RouteOptions(
+        coordinator=...)`` (or a bare pid) to exercise multi-controller
+        access to the same stripe.  Defaults to brick 1.  The keyword
+        ``coordinator_pid=`` is deprecated.
         """
-        if route is not None and route.coordinator is not None:
-            pid = route.coordinator
-        elif coordinator_pid is not None:
-            pid = coordinator_pid
-        else:
-            pid = 1
+        resolved = resolve_route(
+            route, coordinator_pid, default=RouteOptions(coordinator=1)
+        )
+        pid = resolved.coordinator if resolved.coordinator is not None else 1
         return StorageRegister(self.coordinators[pid], register_id)
 
     # -- convenience ----------------------------------------------------------
@@ -192,8 +217,8 @@ class FabCluster:
         self.nodes[pid].recover()
 
     def run(self, until: Optional[float] = None) -> None:
-        """Advance the simulation."""
-        self.env.run(until)
+        """Advance the substrate (synchronous transports only)."""
+        self.transport.run(until)
 
     def __repr__(self) -> str:
         cfg = self.config

@@ -33,9 +33,9 @@ from ..erasure.interface import ErasureCode
 from ..erasure.reed_solomon import ReedSolomonCode
 from ..quorum.strategy import QuorumStrategy, RandomQuorumStrategy
 from ..quorum.system import MajorityMQuorumSystem
-from ..sim.kernel import Environment
 from ..sim.monitor import Metrics
 from ..sim.node import Node
+from ..transport.base import Transport
 from ..timestamps import HIGH_TS, LOW_TS, Timestamp, TimestampSource
 from ..types import ABORT, Block, ProcessId
 from .messages import (
@@ -108,17 +108,17 @@ class _PendingCall:
 
     def __init__(
         self,
-        env: Environment,
+        transport: Transport,
         min_count: int,
         prefer: Optional[Callable[[Dict[ProcessId, object]], bool]],
         grace: float,
     ) -> None:
-        self.env = env
+        self.transport = transport
         self.min_count = min_count
         self.prefer = prefer
         self.grace = grace
         self.replies: Dict[ProcessId, object] = {}
-        self.complete = env.event()
+        self.complete = transport.event()
         self.finished = False
         self.expired = False
         self._grace_started = False
@@ -140,8 +140,7 @@ class _PendingCall:
                 self._finish()
             elif not self._grace_started:
                 self._grace_started = True
-                timer = self.env.timeout(self.grace)
-                timer._add_callback(lambda _t: self._finish())
+                self.transport.set_timer(self.grace, self._finish)
 
     def _finish(self) -> None:
         if self.finished:
@@ -178,7 +177,7 @@ class QuorumRpc:
         config: CoordinatorConfig,
     ) -> None:
         self.node = node
-        self.env = node.env
+        self.transport = node.transport
         self.universe = list(universe)
         self.quorum_size = quorum_size
         self.config = config
@@ -219,7 +218,7 @@ class QuorumRpc:
         """
         request_id = self.next_request_id()
         needed = self.quorum_size if min_count is None else min_count
-        call = _PendingCall(self.env, needed, prefer, self.config.grace)
+        call = _PendingCall(self.transport, needed, prefer, self.config.grace)
         self._pending[request_id] = call
 
         def transmit() -> None:
@@ -241,15 +240,14 @@ class QuorumRpc:
                 return
             self.node.metrics.count_retransmission()
             transmit()
-            timer = self.env.timeout(self.config.retransmit_interval)
-            timer._add_callback(lambda _t: retransmit_loop())
+            self.transport.set_timer(
+                self.config.retransmit_interval, retransmit_loop
+            )
 
         transmit()
-        timer = self.env.timeout(self.config.retransmit_interval)
-        timer._add_callback(lambda _t: retransmit_loop())
+        self.transport.set_timer(self.config.retransmit_interval, retransmit_loop)
         if self.config.op_timeout is not None:
-            deadline = self.env.timeout(self.config.op_timeout)
-            deadline._add_callback(lambda _t: call.expire())
+            self.transport.set_timer(self.config.op_timeout, call.expire)
 
         replies = yield call.complete
         del self._pending[request_id]
@@ -289,7 +287,7 @@ class Coordinator:
         strategy: Optional[QuorumStrategy] = None,
     ) -> None:
         self.node = node
-        self.env = node.env
+        self.transport = node.transport
         self.code = code
         self.quorum_system = quorum_system
         self.ts_source = ts_source
@@ -369,7 +367,7 @@ class Coordinator:
     def read_stripe(self, register_id: int):
         """``read-stripe()``: returns the stripe (list of m blocks),
         ``None`` for a never-written stripe, or ABORT."""
-        op = self.metrics.begin_op("read-stripe", self.env.now)
+        op = self.metrics.begin_op("read-stripe", self.transport.now())
         if self.config.disable_fast_read:
             op.path = "slow"
             value = yield from self._recover(register_id)
@@ -378,7 +376,7 @@ class Coordinator:
             if value is ABORT:
                 op.path = "slow"
                 value = yield from self._recover(register_id)
-        self.metrics.end_op(op, self.env.now, aborted=value is ABORT)
+        self.metrics.end_op(op, self.transport.now(), aborted=value is ABORT)
         return value
 
     def _fast_read_stripe(self, register_id: int):
@@ -422,7 +420,7 @@ class Coordinator:
 
     def write_stripe(self, register_id: int, stripe: Sequence[Block]):
         """``write-stripe(stripe)``: two-phase write; returns OK or ABORT."""
-        op = self.metrics.begin_op("write-stripe", self.env.now)
+        op = self.metrics.begin_op("write-stripe", self.transport.now())
         ts = self._new_ts()
         if not self.config.unsafe_one_phase_writes:
             replies = yield from self.rpc.call(
@@ -440,10 +438,10 @@ class Coordinator:
                 if replies is not None:
                     for reply in replies.values():
                         self._observe(reply.max_seen)
-                self.metrics.end_op(op, self.env.now, aborted=True)
+                self.metrics.end_op(op, self.transport.now(), aborted=True)
                 return ABORT
         result = yield from self._store_stripe(register_id, list(stripe), ts)
-        self.metrics.end_op(op, self.env.now, aborted=result is ABORT)
+        self.metrics.end_op(op, self.transport.now(), aborted=result is ABORT)
         return result
 
     def _recover(self, register_id: int):
@@ -577,7 +575,7 @@ class Coordinator:
 
     def read_block(self, register_id: int, j: int):
         """``read-block(j)``: returns the block, None for nil, or ABORT."""
-        op = self.metrics.begin_op("read-block", self.env.now)
+        op = self.metrics.begin_op("read-block", self.transport.now())
         targets = frozenset({j})
 
         def good(replies: Dict[ProcessId, ReadReply]) -> bool:
@@ -592,32 +590,32 @@ class Coordinator:
             prefer=good,
         )
         if replies is None:
-            self.metrics.end_op(op, self.env.now, aborted=True)
+            self.metrics.end_op(op, self.transport.now(), aborted=True)
             return ABORT
         for reply in replies.values():
             self._observe(reply.val_ts)
         if self._fast_read_condition(replies, targets):
-            self.metrics.end_op(op, self.env.now, aborted=False)
+            self.metrics.end_op(op, self.transport.now(), aborted=False)
             return replies[j].block
         op.path = "slow"
         stripe = yield from self._recover(register_id)
         if stripe is ABORT:
-            self.metrics.end_op(op, self.env.now, aborted=True)
+            self.metrics.end_op(op, self.transport.now(), aborted=True)
             return ABORT
-        self.metrics.end_op(op, self.env.now, aborted=False)
+        self.metrics.end_op(op, self.transport.now(), aborted=False)
         if stripe is None:
             return None
         return stripe[j - 1]
 
     def write_block(self, register_id: int, j: int, block: Block):
         """``write-block(j, b)``: fast Modify path, else full recovery."""
-        op = self.metrics.begin_op("write-block", self.env.now)
+        op = self.metrics.begin_op("write-block", self.transport.now())
         ts = self._new_ts()
         result = yield from self._fast_write_block(register_id, j, block, ts)
         if result is not OK:
             op.path = "slow"
             result = yield from self._slow_write_block(register_id, j, block, ts)
-        self.metrics.end_op(op, self.env.now, aborted=result is not OK)
+        self.metrics.end_op(op, self.transport.now(), aborted=result is not OK)
         return result
 
     def _fast_write_block(self, register_id: int, j: int, block: Block,
@@ -707,7 +705,7 @@ class Coordinator:
         recovery path reconstructs the whole stripe.  Returns a dict
         ``{j: block}`` (values ``None`` for a nil stripe) or ABORT.
         """
-        op = self.metrics.begin_op("read-blocks", self.env.now)
+        op = self.metrics.begin_op("read-blocks", self.transport.now())
         targets = frozenset(js)
 
         def good(replies: Dict[ProcessId, ReadReply]) -> bool:
@@ -725,14 +723,14 @@ class Coordinator:
             for reply in replies.values():
                 self._observe(reply.val_ts)
             if self._fast_read_condition(replies, targets):
-                self.metrics.end_op(op, self.env.now, aborted=False)
+                self.metrics.end_op(op, self.transport.now(), aborted=False)
                 return {j: replies[j].block for j in targets}
         op.path = "slow"
         stripe = yield from self._recover(register_id)
         if stripe is ABORT:
-            self.metrics.end_op(op, self.env.now, aborted=True)
+            self.metrics.end_op(op, self.transport.now(), aborted=True)
             return ABORT
-        self.metrics.end_op(op, self.env.now, aborted=False)
+        self.metrics.end_op(op, self.transport.now(), aborted=False)
         if stripe is None:
             return {j: None for j in targets}
         return {j: stripe[j - 1] for j in targets}
@@ -755,7 +753,7 @@ class Coordinator:
                 raise ProtocolInvariantError(
                     f"block index {j} outside 1..{self.m}"
                 )
-        op = self.metrics.begin_op("write-blocks", self.env.now)
+        op = self.metrics.begin_op("write-blocks", self.transport.now())
         ts = self._new_ts()
         replies = yield from self.rpc.call(
             lambda dst, rid: OrderReadReq(
@@ -777,7 +775,7 @@ class Coordinator:
             if replies is not None:
                 for reply in clean.values():
                     self._observe(reply.lts)
-            self.metrics.end_op(op, self.env.now, aborted=True)
+            self.metrics.end_op(op, self.transport.now(), aborted=True)
             return ABORT
         newest = max(reply.lts for reply in clean.values())
         blocks = {
@@ -802,7 +800,7 @@ class Coordinator:
             op.path = "slow"
             stripe = yield from self._read_prev_stripe(register_id, ts)
             if stripe is ABORT:
-                self.metrics.end_op(op, self.env.now, aborted=True)
+                self.metrics.end_op(op, self.transport.now(), aborted=True)
                 return ABORT
             if stripe is None:
                 stripe = self._zero_stripe()
@@ -810,7 +808,7 @@ class Coordinator:
         for j, block in updates.items():
             stripe[j - 1] = block
         result = yield from self._store_stripe(register_id, stripe, ts)
-        self.metrics.end_op(op, self.env.now, aborted=result is not OK)
+        self.metrics.end_op(op, self.transport.now(), aborted=result is not OK)
         return result
 
     def _slow_write_block(self, register_id: int, j: int, block: Block,

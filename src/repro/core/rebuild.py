@@ -31,6 +31,7 @@ from ..errors import CorruptionDetected
 from ..timestamps import Timestamp
 from ..types import ABORT, ProcessId
 from .cluster import FabCluster
+from .routing import RouteOptions, resolve_route
 
 __all__ = ["ScrubReport", "Scrubber", "RebuildReport", "Rebuilder"]
 
@@ -134,13 +135,27 @@ class Rebuilder:
 
     Args:
         cluster: the cluster to repair.
-        coordinator_pid: brick to coordinate rebuild operations; must be
-            up (pick any survivor).
+        route: where to coordinate rebuild operations —
+            ``RouteOptions(coordinator=pid)`` or a bare pid; the brick
+            must be up (pick any survivor).  Defaults to brick 1.  The
+            keyword ``coordinator_pid=`` is deprecated.
     """
 
-    def __init__(self, cluster: FabCluster, coordinator_pid: ProcessId = 1) -> None:
+    def __init__(
+        self,
+        cluster: FabCluster,
+        route=None,
+        *,
+        coordinator_pid: Optional[ProcessId] = None,
+    ) -> None:
         self.cluster = cluster
-        self.coordinator_pid = coordinator_pid
+        resolved = resolve_route(
+            route, coordinator_pid, default=RouteOptions(coordinator=1)
+        )
+        self.route = resolved
+        self.coordinator_pid = (
+            resolved.coordinator if resolved.coordinator is not None else 1
+        )
         self.scrubber = Scrubber(cluster)
 
     def rebuild_register(self, register_id: int) -> str:
@@ -161,7 +176,7 @@ class Rebuilder:
         process = self.cluster.nodes[self.coordinator_pid].spawn(
             self._recover_everywhere(coordinator, register_id, live)
         )
-        result = self.cluster.env.run_until_complete(process)
+        result = self.cluster.transport.run_until_complete(process)
         return "aborted" if result is ABORT else "repaired"
 
     @staticmethod

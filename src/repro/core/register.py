@@ -41,7 +41,11 @@ class StorageRegister:
 
     @property
     def env(self):
-        return self.coordinator.env
+        return self.coordinator.node.env
+
+    @property
+    def transport(self):
+        return self.coordinator.transport
 
     # -- asynchronous API (returns sim processes) ---------------------------
 
@@ -85,27 +89,27 @@ class StorageRegister:
 
     def read_stripe(self) -> Optional[List[Block]]:
         """Blocking ``read-stripe``; returns stripe, None (nil), or ABORT."""
-        return self.env.run_until_complete(self.read_stripe_async())
+        return self.transport.run_until_complete(self.read_stripe_async())
 
     def write_stripe(self, stripe: Sequence[Block]):
         """Blocking ``write-stripe``; returns "OK" or ABORT."""
-        return self.env.run_until_complete(self.write_stripe_async(stripe))
+        return self.transport.run_until_complete(self.write_stripe_async(stripe))
 
     def read_block(self, j: int):
         """Blocking ``read-block(j)``; returns block, None (nil), or ABORT."""
-        return self.env.run_until_complete(self.read_block_async(j))
+        return self.transport.run_until_complete(self.read_block_async(j))
 
     def write_block(self, j: int, block: Block):
         """Blocking ``write-block(j, b)``; returns "OK" or ABORT."""
-        return self.env.run_until_complete(self.write_block_async(j, block))
+        return self.transport.run_until_complete(self.write_block_async(j, block))
 
     def read_blocks(self, js):
         """Blocking multi-block read; returns ``{j: block}`` or ABORT."""
-        return self.env.run_until_complete(self.read_blocks_async(js))
+        return self.transport.run_until_complete(self.read_blocks_async(js))
 
     def write_blocks(self, updates):
         """Blocking atomic multi-block write; returns "OK" or ABORT."""
-        return self.env.run_until_complete(self.write_blocks_async(updates))
+        return self.transport.run_until_complete(self.write_blocks_async(updates))
 
     def __repr__(self) -> str:
         return (

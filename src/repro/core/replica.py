@@ -287,9 +287,8 @@ class Replica:
         self._remember_reply(src, request_id, reply)
         delay, self._busy = self._busy, 0.0
         if delay > 0:
-            timer = self.node.env.timeout(delay)
-            timer._add_callback(
-                lambda _t: self.node.send(src, reply, size=reply.size)
+            self.node.transport.set_timer(
+                delay, lambda: self.node.send(src, reply, size=reply.size)
             )
         else:
             self.node.send(src, reply, size=reply.size)

@@ -187,6 +187,7 @@ class VolumeSession:
         self.volume = volume
         self.cluster = volume.cluster
         self.env = self.cluster.env
+        self.transport = self.cluster.transport
         self.max_inflight = max_inflight
         self.retry = retry or DEFAULT_SESSION_RETRY
         self.route = resolve_route(route, default=RouteOptions())
@@ -194,7 +195,7 @@ class VolumeSession:
             seed = (self.cluster.config.seed * 2654435761 + 0x5E5510) % 2**31
         self._rng = random.Random(seed)
         self.stats: SessionStats = self.cluster.metrics.begin_session(
-            now=self.env.now
+            now=self.transport.now()
         )
         self.ops: List[SessionOp] = []
         self._queue: deque = deque()
@@ -281,8 +282,24 @@ class VolumeSession:
         in simulated time.
         """
         while self._pump is not None and not self._pump.triggered:
-            self.env.run_until_complete(self._pump)
-        self.stats.finished_at = self.env.now
+            self.transport.run_until_complete(self._pump)
+        self.stats.finished_at = self.transport.now()
+        return list(self.ops)
+
+    async def drain_async(self) -> List[SessionOp]:
+        """Await every submitted operation (any transport).
+
+        The async twin of :meth:`drain`: on an
+        :class:`~repro.transport.aio.AsyncioTransport` the pump runs in
+        wall time and this coroutine suspends without blocking the
+        event loop — thousands of sessions drain concurrently.  On a
+        :class:`~repro.transport.sim.SimTransport` awaiting simply
+        drives virtual time, so substrate-agnostic load drivers work on
+        both.
+        """
+        while self._pump is not None and not self._pump.triggered:
+            await self.transport.wait_for(self._pump)
+        self.stats.finished_at = self.transport.now()
         return list(self.ops)
 
     def read(self, logical_block: int):
@@ -390,13 +407,13 @@ class VolumeSession:
     def _enqueue(self, kind, register_id, blocks, units, payload) -> SessionOp:
         op = SessionOp(
             kind, register_id, blocks, units, payload,
-            event=self.env.event(), submitted_at=self.env.now,
+            event=self.transport.event(), submitted_at=self.transport.now(),
         )
         self.ops.append(op)
         self._queue.append(op)
         self.stats.ops_submitted += 1
         if self._pump is None or self._pump.triggered:
-            self._pump = self.env.process(self._pump_loop())
+            self._pump = self.transport.spawn(self._pump_loop())
         return op
 
     def _next_dispatchable(self) -> Optional[SessionOp]:
@@ -422,9 +439,9 @@ class VolumeSession:
                 if op is None:
                     break
                 self._busy_registers.add(op.register_id)
-                self._inflight[self.env.process(self._run_op(op))] = op
+                self._inflight[self.transport.spawn(self._run_op(op))] = op
             self.stats.note_inflight(len(self._inflight))
-            yield self.env.any_of(list(self._inflight))
+            yield self.transport.any_of(list(self._inflight))
             for process in [p for p in self._inflight if p.triggered]:
                 self._busy_registers.discard(self._inflight[process].register_id)
                 del self._inflight[process]
@@ -470,7 +487,7 @@ class VolumeSession:
     def _run_op(self, op: SessionOp):
         """Drive one operation to completion: retry, back off, fail over."""
         policy = self.retry
-        start = self.env.now
+        start = self.transport.now()
         delay = policy.backoff
         avoid: Optional[ProcessId] = None
         try:
@@ -484,15 +501,15 @@ class VolumeSession:
                     # Every brick is down: wait for the failure injector
                     # (or the caller) to recover one, bounded by the
                     # deadline if the policy set one.
-                    yield self.env.timeout(max(policy.backoff, 1.0))
+                    yield self.transport.timer(max(policy.backoff, 1.0))
                     continue
                 op.attempts += 1
                 op.coordinator = pid
                 attempt = self._spawn_attempt(op, pid)
                 try:
                     if policy.attempt_timeout is not None:
-                        timer = self.env.timeout(policy.attempt_timeout)
-                        event, _value = yield self.env.any_of([attempt, timer])
+                        timer = self.transport.timer(policy.attempt_timeout)
+                        event, _value = yield self.transport.any_of([attempt, timer])
                         if event is timer and not attempt.triggered:
                             # Abandon the slow attempt (it stays
                             # harmless: linearizability makes a same-
@@ -526,7 +543,7 @@ class VolumeSession:
                     avoid = pid
                     wait = delay * (1.0 + policy.jitter * self._rng.random())
                     delay *= policy.backoff_growth
-                    yield self.env.timeout(wait)
+                    yield self.transport.timer(wait)
                     continue
                 if result is not ABORT:
                     self._finalize_ok(op, result)
@@ -542,7 +559,7 @@ class VolumeSession:
                 self.stats.retries += 1
                 wait = delay * (1.0 + policy.jitter * self._rng.random())
                 delay *= policy.backoff_growth
-                yield self.env.timeout(wait)
+                yield self.transport.timer(wait)
         except Exception as error:  # defensive: never kill the pump
             op.status = "failed"
             op.error = error
@@ -551,7 +568,7 @@ class VolumeSession:
 
     def _past_deadline(self, start: float) -> bool:
         deadline = self.retry.deadline
-        return deadline is not None and self.env.now - start >= deadline
+        return deadline is not None and self.transport.now() - start >= deadline
 
     def _note_failover(self, op: SessionOp) -> bool:
         """Count a failover; finalize the op if the route/policy forbids it."""
@@ -602,7 +619,7 @@ class VolumeSession:
         return bytes(block)
 
     def _finish(self, op: SessionOp, completed: bool = True) -> None:
-        op.finished_at = self.env.now
+        op.finished_at = self.transport.now()
         if completed:
             self.stats.ops_completed += 1
         op.event.succeed(op)

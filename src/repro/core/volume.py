@@ -170,7 +170,9 @@ class LogicalVolume:
             if not live:
                 # Everyone is down; let the simulation advance so the
                 # failure injector (or test) can recover bricks.
-                self.cluster.env.run(until=self.cluster.env.now + 10.0)
+                self.cluster.transport.run(
+                    until=self.cluster.transport.now() + 10.0
+                )
                 continue
             pid = preferred if preferred in live else live[0]
             register = self.cluster.register(register_id, pid)

@@ -32,6 +32,7 @@ from ..errors import CorruptionDetected, StorageError
 from ..types import ABORT, ProcessId
 from ..core.cluster import FabCluster
 from ..core.rebuild import Rebuilder
+from ..core.routing import DEFAULT_ROUTE, RouteOptions
 
 __all__ = ["ScrubConfig", "ScrubDaemon"]
 
@@ -48,11 +49,17 @@ class ScrubConfig:
         bricks_per_step: (register, brick) pairs verified per wake-up.
         repair: issue repair write-backs for detected damage (False =
             detect-and-report only, an audit mode).
+        route: where repair write-backs coordinate, with the same
+            semantics as client I/O: a pinned coordinator is preferred
+            while live; ``failover=False`` skips the repair entirely
+            when the pinned brick is down (the next sweep retries).
+            The default unpinned route picks the first live brick.
     """
 
     interval: float = 20.0
     bricks_per_step: int = 2
     repair: bool = True
+    route: Optional[RouteOptions] = None
 
 
 class ScrubDaemon:
@@ -109,13 +116,15 @@ class ScrubDaemon:
         self.running = False
 
     def _arm_timer(self) -> None:
-        timer = self.cluster.env.timeout(self.config.interval)
-        timer._add_callback(lambda _t: self._tick())
+        self.cluster.transport.set_timer(self.config.interval, self._tick)
 
     def _tick(self) -> None:
         if not self.running:
             return
-        if self.horizon is not None and self.cluster.env.now >= self.horizon:
+        if (
+            self.horizon is not None
+            and self.cluster.transport.now() >= self.horizon
+        ):
             self.stop()
             return
         for _ in range(self.config.bricks_per_step):
@@ -148,13 +157,15 @@ class ScrubDaemon:
         self.metrics.count_scrub_scan()
         if register_id in replica.quarantined:
             # Client I/O found it first; our job is only the repair.
-            self._detected_at.setdefault((pid, register_id), self.cluster.env.now)
+            self._detected_at.setdefault(
+                (pid, register_id), self.cluster.transport.now()
+            )
             self._schedule_repair(register_id)
             return
         if self._verify_brick(node, replica, register_id):
             return
         # The scrubber found latent damage before any client read did.
-        now = self.cluster.env.now
+        now = self.cluster.transport.now()
         self.metrics.count_scrub_detection()
         self.detections.append((now, pid, register_id))
         self._detected_at.setdefault((pid, register_id), now)
@@ -188,7 +199,15 @@ class ScrubDaemon:
         live = self.cluster.live_processes()
         if not live:
             return
-        coordinator_pid = live[0]
+        # Repairs follow the same routing policy as client I/O: honor a
+        # pinned coordinator while it is live, and fail over (or, with
+        # failover disabled, stand down until the next sweep) when not.
+        route = self.config.route or DEFAULT_ROUTE
+        coordinator_pid = route.coordinator
+        if coordinator_pid is None or coordinator_pid not in live:
+            if coordinator_pid is not None and not route.failover:
+                return
+            coordinator_pid = live[0]
         coordinator = self.cluster.coordinators[coordinator_pid]
         generator = Rebuilder._recover_everywhere(
             coordinator, register_id, len(live)
@@ -214,11 +233,13 @@ class ScrubDaemon:
         marks = [k for k in self._detected_at if k[1] == register_id]
         detected = min(
             (self._detected_at[k] for k in marks),
-            default=self.cluster.env.now,
+            default=self.cluster.transport.now(),
         )
         for key in marks:
             del self._detected_at[key]
-        self.metrics.count_scrub_repair(self.cluster.env.now - detected)
+        self.metrics.count_scrub_repair(
+            self.cluster.transport.now() - detected
+        )
 
     # -- synchronous use ------------------------------------------------------
 

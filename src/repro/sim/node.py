@@ -11,14 +11,16 @@ recovery.
 from __future__ import annotations
 
 import copy
-from typing import Any, Callable, Dict, Generator, List, Optional, Set
+from typing import Any, Dict, List, Optional, Set
 
-from ..errors import ConfigurationError, CorruptionDetected, StorageError
+from ..errors import ConfigurationError, CorruptionDetected
+from ..transport.base import Endpoint, Transport
+from ..transport.sim import SimTransport
 from ..types import ProcessId
 from .freeze import estimate_size, fingerprint, flip_bit, freeze, thaw
-from .kernel import Environment, Process
+from .kernel import Environment
 from .monitor import Metrics
-from .network import Message, Network
+from .network import Network
 
 __all__ = ["StableStore", "Node"]
 
@@ -357,139 +359,61 @@ class StableStore:
         return self._size_bytes
 
 
-class Node:
-    """A brick: endpoint + stable storage + crash/recovery lifecycle.
+class Node(Endpoint):
+    """A brick: transport endpoint + stable storage + crash lifecycle.
+
+    All messaging, timers, and process ownership come from
+    :class:`~repro.transport.base.Endpoint`; this class adds the
+    :class:`StableStore` that survives crashes.
+
+    Two construction forms:
+
+    * ``Node(transport=t, process_id=pid, ...)`` — the endpoint rides
+      on any :class:`~repro.transport.base.Transport` (what
+      :class:`~repro.core.cluster.FabCluster` uses).
+    * ``Node(env, network, pid, ...)`` — the legacy sim form; a
+      :class:`~repro.transport.sim.SimTransport` is wrapped around the
+      given kernel/network pair.  Delegation is stateless, so per-node
+      wrappers over a shared network behave identically to a shared
+      transport.
 
     Args:
-        env: simulation environment.
-        network: the network to register with.
+        env: simulation environment (legacy form).
+        network: the network to register with (legacy form).
         process_id: this node's id in ``1..n``.
-        metrics: metric sink shared with the network.
+        metrics: metric sink; defaults to the transport's.
         store_mode: :class:`StableStore` mode (``"cow"`` or the seed's
             ``"deepcopy"``).
         verify_checksums: verify stable-store envelopes on read
             (default True; False is the corruption escape hatch).
+        transport: substrate for the keyword form.
     """
 
     def __init__(
         self,
-        env: Environment,
-        network: Network,
-        process_id: ProcessId,
+        env: Optional[Environment] = None,
+        network: Optional[Network] = None,
+        process_id: Optional[ProcessId] = None,
         metrics: Optional[Metrics] = None,
         store_mode: str = "cow",
         verify_checksums: bool = True,
+        *,
+        transport: Optional[Transport] = None,
     ) -> None:
-        self.env = env
-        self.network = network
-        self.process_id = process_id
-        self.metrics = metrics or network.metrics
+        if transport is None:
+            if env is None or network is None:
+                raise ConfigurationError(
+                    "Node needs either transport= or the legacy "
+                    "(env, network) pair"
+                )
+            transport = SimTransport(env=env, network=network)
+        elif env is not None or network is not None:
+            raise ConfigurationError(
+                "pass either transport= or (env, network), not both"
+            )
+        if process_id is None:
+            raise ConfigurationError("Node requires a process_id")
+        super().__init__(transport, process_id, metrics)
         self.stable = StableStore(
             mode=store_mode, verify_checksums=verify_checksums
         )
-        self._up = True
-        self._handlers: Dict[type, Callable[[ProcessId, Any], None]] = {}
-        self._owned_processes: List[Process] = []
-        self._crash_count = 0
-        self._crash_hooks: List[Callable[[], None]] = []
-        self._recovery_hooks: List[Callable[[], None]] = []
-        network.register(process_id, self._on_message)
-
-    # -- lifecycle ---------------------------------------------------------
-
-    @property
-    def is_up(self) -> bool:
-        """True while the node is running."""
-        return self._up
-
-    @property
-    def crash_count(self) -> int:
-        """Number of crashes suffered so far."""
-        return self._crash_count
-
-    def crash(self) -> None:
-        """Crash the node: lose volatile state, kill owned processes.
-
-        Idempotent while down.  Stable storage survives.
-        """
-        if not self._up:
-            return
-        for hook in self._crash_hooks:
-            hook()
-        self._up = False
-        self._crash_count += 1
-        self.network.set_down(self.process_id, True)
-        owned, self._owned_processes = self._owned_processes, []
-        for process in owned:
-            process.interrupt("crash")
-
-    def recover(self) -> None:
-        """Restart the node; volatile state must be rebuilt by hooks."""
-        if self._up:
-            return
-        self._up = True
-        self.network.set_down(self.process_id, False)
-        for hook in self._recovery_hooks:
-            hook()
-
-    def on_crash(self, hook: Callable[[], None]) -> None:
-        """Register a hook run at the start of each crash.
-
-        Hooks run while the node is still formally up — before volatile
-        state is torn down and owned processes are interrupted — so they
-        can snapshot state for post-recovery checks (e.g. the campaign
-        engine's log/journal recovery-equivalence invariant).
-        """
-        self._crash_hooks.append(hook)
-
-    def on_recovery(self, hook: Callable[[], None]) -> None:
-        """Register a hook run after each recovery (state reload)."""
-        self._recovery_hooks.append(hook)
-
-    # -- messaging -----------------------------------------------------------
-
-    def register_handler(
-        self, payload_type: type, handler: Callable[[ProcessId, Any], None]
-    ) -> None:
-        """Dispatch arriving payloads of ``payload_type`` to ``handler``."""
-        self._handlers[payload_type] = handler
-
-    def send(self, dst: ProcessId, payload: Any, size: int = 0) -> None:
-        """Send a message from this node (dropped if the node is down)."""
-        if not self._up:
-            return
-        self.network.send(self.process_id, dst, payload, size)
-
-    def _on_message(self, message: Message) -> None:
-        if not self._up:
-            return
-        handler = self._handlers.get(type(message.payload))
-        if handler is not None:
-            handler(message.src, message.payload)
-
-    # -- process ownership -----------------------------------------------------
-
-    def spawn(self, generator: Generator) -> Process:
-        """Run a coordinator coroutine owned by this node.
-
-        If the node crashes, the process is interrupted — modelling a
-        coordinator that dies mid-operation.  Finished processes are
-        reaped on completion, so long-lived nodes keep
-        ``_owned_processes`` bounded by the number of genuinely
-        concurrent operations.
-        """
-        if not self._up:
-            raise StorageError(
-                f"node {self.process_id} is down; cannot spawn a process"
-            )
-        process = self.env.process(generator)
-        self._owned_processes.append(process)
-        process._add_callback(self._reap)
-        return process
-
-    def _reap(self, process: Process) -> None:
-        """Completion callback: forget a finished process."""
-        try:
-            self._owned_processes.remove(process)
-        except ValueError:
-            pass  # already dropped by a crash

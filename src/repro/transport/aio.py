@@ -1,0 +1,397 @@
+"""AsyncioTransport: wall-clock timers and socket (or loopback) frames.
+
+The protocol layer is written as sim-kernel generators, and that
+machinery is substrate-independent: an :class:`AsyncioTransport` embeds
+its own :class:`~repro.sim.kernel.Environment` and pumps it from an
+asyncio task in *wall* time.  The kernel's virtual clock is clamped to
+the scaled wall clock — an event armed "8 units out" fires roughly 8 ms
+later (at the default ``time_scale`` of 1000 units per second).
+
+Two delivery modes:
+
+* ``loopback`` — messages are injected straight into the shared event
+  queue (one process, no sockets).  This is what ``repro serve`` uses
+  to host a cluster plus thousands of concurrent sessions.
+* ``tcp`` — every process id gets its own listening socket at
+  ``base_port + pid - 1``; messages travel as length-prefixed JSON
+  frames (:mod:`repro.transport.wire`) over per-destination
+  connections with a writer task each.
+
+Timers use the same tolerances as the sim (retransmit 8 units, grace
+2 units → 8 ms / 2 ms of wall clock): generous on loopback, and the
+replica reply cache absorbs any duplicate deliveries that early
+retransmissions cause.
+
+The synchronous driving entry points (``run`` / ``run_until_complete``)
+raise: wall-clock time cannot be "run"; use ``await start()`` /
+``wait_for`` / ``stop()`` or the ``repro serve`` CLI instead.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from ..errors import ConfigurationError, SimulationError
+from ..types import ProcessId
+from ..sim.kernel import Environment, Event, Timeout
+from ..sim.network import Message
+from .base import TimerHandle, Transport
+from . import wire
+
+__all__ = ["AsyncioTransport"]
+
+_MODES = ("loopback", "tcp")
+#: How long the pump dozes when the queue is empty and nothing woke it.
+_IDLE_POLL_S = 0.25
+#: Cooperative-yield granularity while draining a busy queue.
+_STEPS_PER_YIELD = 200
+
+
+class AsyncioTransport(Transport):
+    """Wall-clock transport over asyncio, loopback or TCP framing.
+
+    Args:
+        mode: ``"loopback"`` (in-process, default) or ``"tcp"``.
+        time_scale: kernel time units per wall second.  The default of
+            1000 makes one unit equal one millisecond, so protocol
+            tolerances written in sim units become sane socket timings.
+        host: bind/connect address for ``tcp`` mode.
+        base_port: process ``pid`` listens on ``base_port + pid - 1``.
+        metrics: optional metric sink (message/drop counting), shared
+            with the cluster when one adopts this transport.
+    """
+
+    def __init__(
+        self,
+        mode: str = "loopback",
+        time_scale: float = 1000.0,
+        host: str = "127.0.0.1",
+        base_port: int = 7420,
+        metrics: Any = None,
+    ) -> None:
+        if mode not in _MODES:
+            raise ConfigurationError(
+                f"unknown asyncio transport mode {mode!r}; valid: {_MODES}"
+            )
+        if time_scale <= 0:
+            raise ConfigurationError("time_scale must be positive")
+        self.mode = mode
+        self.time_scale = time_scale
+        self.host = host
+        self.base_port = base_port
+        self.metrics = metrics
+        self.env = Environment()
+        self._endpoints: Dict[ProcessId, Callable[[Any], None]] = {}
+        self._down: Dict[ProcessId, bool] = {}
+        self._running = False
+        self._origin: Optional[float] = None
+        self._pump_task = None
+        self._pump_error: Optional[BaseException] = None
+        self._wake = None  # asyncio.Event, created on the running loop
+        self._servers: List[Any] = []
+        self._conn_writers: List[Any] = []
+        self._outboxes: Dict[ProcessId, Any] = {}
+        self._writer_tasks: Dict[ProcessId, Any] = {}
+
+    # -- clock -------------------------------------------------------------
+
+    def _wall_units(self) -> float:
+        if self._origin is None:
+            return self.env.now
+        return (time.monotonic() - self._origin) * self.time_scale
+
+    def _advance_clock(self) -> None:
+        """Raise the kernel clock toward the wall clock.
+
+        Never past the queue head: ``step()`` treats a popped event with
+        ``time < now`` as corruption, and events scheduled between
+        advances must land at or after the clock.  The pump executes any
+        due events before the clock moves over them.
+        """
+        wall = self._wall_units()
+        if self.env._queue:
+            wall = min(wall, self.env._queue[0][0])
+        if wall > self.env._now:
+            self.env._now = wall
+
+    def now(self) -> float:
+        """Scaled wall clock (never behind the kernel clock).
+
+        The kernel clock itself is clamped to the queue head so queued
+        events replay correctly, which makes it stall under backlog;
+        reporting the wall clock here keeps timestamps and latency
+        measurements honest.  Timers still arm relative to the kernel
+        clock, so under backlog they fire no *later* than requested —
+        an early retransmit is harmless (the replica reply cache
+        absorbs duplicates).
+        """
+        self._advance_clock()
+        wall = self._wall_units()
+        return wall if wall > self.env._now else self.env.now
+
+    # -- scheduling overrides (stamp against the advanced clock) -----------
+
+    def set_timer(
+        self, delay: float, callback: Callable[[], None]
+    ) -> TimerHandle:
+        self._advance_clock()
+        handle = TimerHandle(callback)
+        timer = Timeout(self.env, delay)
+        timer._add_callback(handle._fire)
+        self._kick()
+        return handle
+
+    def timer(self, delay: float, value: Any = None) -> Timeout:
+        self._advance_clock()
+        timeout = Timeout(self.env, delay, value)
+        self._kick()
+        return timeout
+
+    def spawn(self, generator):
+        self._advance_clock()
+        return super().spawn(generator)
+
+    def _kick(self) -> None:
+        if self._wake is not None:
+            self._wake.set()
+
+    # -- messaging ---------------------------------------------------------
+
+    def register(
+        self, process_id: ProcessId, deliver: Callable[[Any], None]
+    ) -> None:
+        if self._running and self.mode == "tcp":
+            raise ConfigurationError(
+                "tcp transport: register all endpoints before start()"
+            )
+        self._endpoints[process_id] = deliver
+        self._down[process_id] = False
+
+    def unregister(self, process_id: ProcessId) -> None:
+        self._endpoints.pop(process_id, None)
+        self._down.pop(process_id, None)
+
+    def set_down(self, process_id: ProcessId, down: bool) -> None:
+        self._down[process_id] = down
+
+    def send(
+        self, src: ProcessId, dst: ProcessId, payload: Any, size: int = 0
+    ) -> None:
+        if self.metrics is not None:
+            self.metrics.count_message(size)
+        if self._down.get(src, False) or self._down.get(dst, False):
+            if self.metrics is not None:
+                self.metrics.count_drop()
+            return
+        message = Message(src, dst, payload, size)
+        if self.mode == "tcp" and self._running:
+            self._enqueue_frame(dst, wire.encode_frame(src, dst, payload, size))
+            return
+        # Loopback (and pre-start tcp, e.g. setup writes): inject into
+        # the shared queue; the pump dispatches it next cycle.
+        self._advance_clock()
+        self.env._call_soon(lambda: self._deliver(message))
+        self._kick()
+
+    def _deliver(self, message: Message) -> None:
+        # Down/registration state may have changed in flight.
+        if self._down.get(message.dst, False):
+            if self.metrics is not None:
+                self.metrics.count_drop()
+            return
+        deliver = self._endpoints.get(message.dst)
+        if deliver is not None:
+            deliver(message)
+
+    # -- tcp plumbing ------------------------------------------------------
+
+    def _enqueue_frame(self, dst: ProcessId, frame: bytes) -> None:
+        import asyncio
+
+        outbox = self._outboxes.get(dst)
+        if outbox is None:
+            outbox = asyncio.Queue()
+            self._outboxes[dst] = outbox
+            self._writer_tasks[dst] = asyncio.get_event_loop().create_task(
+                self._write_loop(dst, outbox)
+            )
+        outbox.put_nowait(frame)
+
+    async def _write_loop(self, dst: ProcessId, outbox) -> None:
+        import asyncio
+
+        writer = None
+        try:
+            port = self.base_port + dst - 1
+            _reader, writer = await asyncio.open_connection(self.host, port)
+            while True:
+                frame = await outbox.get()
+                if frame is None:
+                    break
+                writer.write(frame)
+                await writer.drain()
+        except (ConnectionError, OSError):
+            if self.metrics is not None:
+                self.metrics.count_drop()
+        finally:
+            if writer is not None:
+                writer.close()
+
+    async def _serve_connection(self, reader, writer) -> None:
+        self._conn_writers.append(writer)
+        try:
+            while True:
+                frame = await wire.read_frame(reader)
+                if frame is None:
+                    return
+                src, dst, payload, size = frame
+                message = Message(src, dst, payload, size)
+                self._advance_clock()
+                self.env._call_soon(lambda m=message: self._deliver(m))
+                self._kick()
+        finally:
+            try:
+                self._conn_writers.remove(writer)
+            except ValueError:
+                pass
+            writer.close()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind sockets (tcp mode) and start the event pump.
+
+        Must run on the loop that will host the workload; asyncio
+        primitives are created here because Python 3.9 binds them to
+        the loop current at construction.
+        """
+        import asyncio
+
+        if self._running:
+            return
+        self._wake = asyncio.Event()
+        self._pump_error = None
+        # Align wall time with whatever virtual time already elapsed
+        # (e.g. synchronous setup writes before start()).
+        self._origin = time.monotonic() - self.env._now / self.time_scale
+        if self.mode == "tcp":
+            for pid in sorted(self._endpoints):
+                server = await asyncio.start_server(
+                    self._serve_connection,
+                    host=self.host,
+                    port=self.base_port + pid - 1,
+                )
+                self._servers.append(server)
+        self._running = True
+        self._pump_task = asyncio.get_event_loop().create_task(self._pump())
+
+    async def stop(self) -> None:
+        """Stop the pump, drain writers, and close servers."""
+        import asyncio
+
+        if not self._running:
+            return
+        self._running = False
+        self._kick()
+        if self._pump_task is not None:
+            try:
+                await self._pump_task
+            except asyncio.CancelledError:
+                pass
+            self._pump_task = None
+        for outbox in self._outboxes.values():
+            outbox.put_nowait(None)
+        for task in self._writer_tasks.values():
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._outboxes.clear()
+        self._writer_tasks.clear()
+        # Close accepted connections first so their reader coroutines
+        # exit on EOF instead of being cancelled at loop shutdown.
+        for writer in list(self._conn_writers):
+            writer.close()
+        await asyncio.sleep(0)
+        for server in self._servers:
+            server.close()
+            await server.wait_closed()
+        self._servers.clear()
+        self._wake = None
+
+    async def _pump(self) -> None:
+        """Drive the kernel: execute due events, sleep until the next."""
+        import asyncio
+
+        steps = 0
+        try:
+            while self._running:
+                wall = self._wall_units()
+                queue = self.env._queue
+                if queue and queue[0][0] <= wall:
+                    self.env.step()
+                    steps += 1
+                    if steps % _STEPS_PER_YIELD == 0:
+                        await asyncio.sleep(0)
+                    continue
+                self._advance_clock()
+                if queue:
+                    delay_s = (queue[0][0] - wall) / self.time_scale
+                    delay_s = min(max(delay_s, 0.0), _IDLE_POLL_S)
+                else:
+                    delay_s = _IDLE_POLL_S
+                self._wake.clear()
+                try:
+                    await asyncio.wait_for(self._wake.wait(), timeout=delay_s)
+                except asyncio.TimeoutError:
+                    pass
+        except BaseException as exc:  # surfaced by wait_for / stop
+            self._pump_error = exc
+
+    async def wait_for(self, event: Event) -> Any:
+        """Await a kernel event from asyncio code.
+
+        The transport-level twin of ``run_until_complete``: returns the
+        event's value, or raises its failure exception.  Also re-raises
+        any error that killed the pump (a protocol invariant violation
+        aborts the workload instead of hanging it).
+        """
+        import asyncio
+
+        if not self._running:
+            raise SimulationError("transport not started; await start() first")
+        fired = asyncio.Event()
+        event._add_callback(lambda _e: fired.set())
+        self._kick()
+        while not fired.is_set():
+            if self._pump_error is not None:
+                raise self._pump_error
+            if not self._running:
+                raise SimulationError("transport stopped while waiting")
+            try:
+                await asyncio.wait_for(fired.wait(), timeout=_IDLE_POLL_S)
+            except asyncio.TimeoutError:
+                pass
+        if event._failed:
+            event._defused = True
+            value = event.value
+            if isinstance(value, BaseException):
+                raise value
+            raise SimulationError(f"event failed with {value!r}")
+        return event.value
+
+    # -- synchronous driving is meaningless on a wall clock ----------------
+
+    def run(self, until: Optional[float] = None) -> None:
+        raise SimulationError(
+            "AsyncioTransport cannot be driven synchronously; "
+            "use 'await transport.start()' and the async session API, "
+            "or the 'repro serve' CLI"
+        )
+
+    def run_until_complete(self, process, limit: float = 1e12) -> Any:
+        raise SimulationError(
+            "AsyncioTransport cannot be driven synchronously; "
+            "use 'await transport.wait_for(...)' instead"
+        )

@@ -1,0 +1,319 @@
+"""The transport abstraction: one protocol API, many substrates.
+
+The paper defines FAB purely in terms of messages between coordinators
+and bricks; nothing in Algorithms 1-3 depends on *how* a message moves
+or what a clock is.  :class:`Transport` captures exactly the surface the
+protocol code needs — ``send``, ``set_timer`` / ``cancel_timer``,
+``now``, ``spawn``, plus the event/condition primitives the coroutine
+machinery is written against — so the same coordinator, replica,
+session, and daemon code runs unchanged on
+
+* :class:`~repro.transport.sim.SimTransport` — the deterministic
+  discrete-event kernel and fair-loss network (every campaign
+  invariant, fault injector, and benchmark), and
+* :class:`~repro.transport.aio.AsyncioTransport` — wall-clock timers
+  and length-prefixed frames over an in-process loopback or real TCP
+  sockets (the ``repro serve`` mode).
+
+:class:`Endpoint` is the per-process handle on a transport: it owns the
+process id, the inbound dispatch table, the up/down lifecycle with
+crash/recovery hooks, and the set of protocol coroutines whose fate is
+tied to the process (a crash interrupts them mid-operation).  The sim
+layer's :class:`~repro.sim.node.Node` extends it with stable storage.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional
+
+from ..errors import SimulationError, StorageError
+from ..types import ProcessId
+from ..sim.kernel import AllOf, AnyOf, Environment, Event, Process, Timeout
+
+__all__ = ["Transport", "TimerHandle", "Endpoint"]
+
+
+class TimerHandle:
+    """A cancellable timer armed via :meth:`Transport.set_timer`.
+
+    The sim kernel cannot remove entries from its heap, so cancellation
+    is a tombstone: the underlying event still fires, but a cancelled
+    handle swallows the callback.  Both substrates share this shape, so
+    protocol code cancels timers identically everywhere.
+    """
+
+    __slots__ = ("_callback", "cancelled")
+
+    def __init__(self, callback: Callable[[], None]) -> None:
+        self._callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Disarm the timer (idempotent; a fired timer stays fired)."""
+        self.cancelled = True
+
+    def _fire(self, _event: Optional[Event] = None) -> None:
+        if not self.cancelled:
+            self._callback()
+
+
+class Transport(ABC):
+    """The substrate surface the protocol layer is written against.
+
+    Every transport embeds an :class:`~repro.sim.kernel.Environment`
+    (exposed as ``env``): the generator/event machinery the protocol
+    coroutines run on is substrate-independent — only *when* events are
+    pumped differs.  ``SimTransport`` drives it in virtual time;
+    ``AsyncioTransport`` pumps it from an asyncio task in wall time.
+    """
+
+    #: The event substrate protocol coroutines run on.
+    env: Environment
+    #: Shared metric sink (message/bandwidth counting).
+    metrics: Any
+
+    # -- messaging ---------------------------------------------------------
+
+    @abstractmethod
+    def register(
+        self, process_id: ProcessId, deliver: Callable[[Any], None]
+    ) -> None:
+        """Attach an endpoint; ``deliver`` is invoked per arriving message."""
+
+    @abstractmethod
+    def unregister(self, process_id: ProcessId) -> None:
+        """Detach an endpoint (messages to it are silently lost)."""
+
+    @abstractmethod
+    def send(
+        self, src: ProcessId, dst: ProcessId, payload: Any, size: int = 0
+    ) -> None:
+        """Send one message (fire-and-forget, may be lost)."""
+
+    @abstractmethod
+    def set_down(self, process_id: ProcessId, down: bool) -> None:
+        """Mark an endpoint crashed; messages to/from it are lost."""
+
+    # -- time --------------------------------------------------------------
+
+    def now(self) -> float:
+        """Current transport time (sim units, or scaled wall clock)."""
+        return self.env.now
+
+    def set_timer(
+        self, delay: float, callback: Callable[[], None]
+    ) -> TimerHandle:
+        """Arm ``callback`` to run ``delay`` time units from now.
+
+        Returns a :class:`TimerHandle`; :meth:`cancel_timer` (or
+        ``handle.cancel()``) disarms it.
+        """
+        handle = TimerHandle(callback)
+        timer = Timeout(self.env, delay)
+        timer._add_callback(handle._fire)
+        self._kick()
+        return handle
+
+    def cancel_timer(self, handle: TimerHandle) -> None:
+        """Disarm a timer previously armed with :meth:`set_timer`."""
+        handle.cancel()
+
+    def timer(self, delay: float, value: Any = None) -> Timeout:
+        """A yieldable event triggering ``delay`` time units from now."""
+        timeout = Timeout(self.env, delay, value)
+        self._kick()
+        return timeout
+
+    # -- coroutine primitives ---------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self.env)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event: any child triggered."""
+        return self.env.any_of(events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event: all children triggered."""
+        return self.env.all_of(events)
+
+    def spawn(self, generator: Generator) -> Process:
+        """Start a protocol coroutine; returns its Process event.
+
+        Prefer :meth:`Endpoint.spawn` for coroutines whose fate should
+        be tied to a process (interrupted when it crashes).
+        """
+        process = self.env.process(generator)
+        self._kick()
+        return process
+
+    # -- synchronous driving ----------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Advance the transport synchronously (sim substrates only)."""
+        self.env.run(until)
+
+    def run_until_complete(self, process: Process, limit: float = 1e12) -> Any:
+        """Drive the transport until ``process`` finishes; return its value.
+
+        Only meaningful on synchronously driven substrates; a wall-clock
+        transport raises :class:`~repro.errors.SimulationError` and
+        callers must use the async API instead.
+        """
+        return self.env.run_until_complete(process, limit)
+
+    # -- internals ---------------------------------------------------------
+
+    def _kick(self) -> None:
+        """Wake the pump after scheduling work (no-op in virtual time)."""
+
+
+class Endpoint:
+    """One process's handle on a transport.
+
+    Replaces raw ``ProcessId`` plumbing: protocol components hold an
+    endpoint and speak only through it — sends are suppressed while the
+    process is down, inbound payloads dispatch by type, and coroutines
+    spawned here are interrupted if the process crashes (producing
+    exactly the partial operations the paper's recovery path handles).
+
+    Args:
+        transport: the substrate this endpoint lives on.
+        process_id: this process's id in ``1..n``.
+        metrics: metric sink; defaults to the transport's.
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        process_id: ProcessId,
+        metrics: Any = None,
+    ) -> None:
+        self.transport = transport
+        self.process_id = process_id
+        self.metrics = metrics if metrics is not None else transport.metrics
+        self._up = True
+        self._handlers: Dict[type, Callable[[ProcessId, Any], None]] = {}
+        self._owned_processes: List[Process] = []
+        self._crash_count = 0
+        self._crash_hooks: List[Callable[[], None]] = []
+        self._recovery_hooks: List[Callable[[], None]] = []
+        transport.register(process_id, self._on_message)
+
+    @property
+    def env(self) -> Environment:
+        """The transport's event substrate (legacy accessor)."""
+        return self.transport.env
+
+    @property
+    def network(self):
+        """The sim network, when this endpoint rides on one (else None)."""
+        return getattr(self.transport, "network", None)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def is_up(self) -> bool:
+        """True while the process is running."""
+        return self._up
+
+    @property
+    def crash_count(self) -> int:
+        """Number of crashes suffered so far."""
+        return self._crash_count
+
+    def crash(self) -> None:
+        """Crash the process: lose volatile state, kill owned coroutines.
+
+        Idempotent while down.  Stable storage (on endpoints that have
+        it) survives.
+        """
+        if not self._up:
+            return
+        for hook in self._crash_hooks:
+            hook()
+        self._up = False
+        self._crash_count += 1
+        self.transport.set_down(self.process_id, True)
+        owned, self._owned_processes = self._owned_processes, []
+        for process in owned:
+            process.interrupt("crash")
+
+    def recover(self) -> None:
+        """Restart the process; volatile state must be rebuilt by hooks."""
+        if self._up:
+            return
+        self._up = True
+        self.transport.set_down(self.process_id, False)
+        for hook in self._recovery_hooks:
+            hook()
+
+    def on_crash(self, hook: Callable[[], None]) -> None:
+        """Register a hook run at the start of each crash.
+
+        Hooks run while the process is still formally up — before
+        volatile state is torn down and owned coroutines are
+        interrupted — so they can snapshot state for post-recovery
+        checks (e.g. the campaign engine's log/journal
+        recovery-equivalence invariant).
+        """
+        self._crash_hooks.append(hook)
+
+    def on_recovery(self, hook: Callable[[], None]) -> None:
+        """Register a hook run after each recovery (state reload)."""
+        self._recovery_hooks.append(hook)
+
+    # -- messaging ---------------------------------------------------------
+
+    def register_handler(
+        self, payload_type: type, handler: Callable[[ProcessId, Any], None]
+    ) -> None:
+        """Dispatch arriving payloads of ``payload_type`` to ``handler``."""
+        self._handlers[payload_type] = handler
+
+    def send(self, dst: ProcessId, payload: Any, size: int = 0) -> None:
+        """Send a message from this process (dropped if it is down)."""
+        if not self._up:
+            return
+        self.transport.send(self.process_id, dst, payload, size)
+
+    def _on_message(self, message: Any) -> None:
+        if not self._up:
+            return
+        handler = self._handlers.get(type(message.payload))
+        if handler is not None:
+            handler(message.src, message.payload)
+
+    # -- process ownership -------------------------------------------------
+
+    def spawn(self, generator: Generator) -> Process:
+        """Run a protocol coroutine owned by this process.
+
+        If the process crashes, the coroutine is interrupted — modelling
+        a coordinator that dies mid-operation.  Finished coroutines are
+        reaped on completion, so long-lived endpoints keep
+        ``_owned_processes`` bounded by the number of genuinely
+        concurrent operations.
+        """
+        if not self._up:
+            raise StorageError(
+                f"node {self.process_id} is down; cannot spawn a process"
+            )
+        process = self.transport.spawn(generator)
+        self._owned_processes.append(process)
+        process._add_callback(self._reap)
+        return process
+
+    def _reap(self, process: Process) -> None:
+        """Completion callback: forget a finished coroutine."""
+        try:
+            self._owned_processes.remove(process)
+        except ValueError:
+            pass  # already dropped by a crash
+
+
+# Re-exported for substrates that need the error type without importing
+# the kernel module directly.
+_ = SimulationError

@@ -1,0 +1,163 @@
+"""Wire format for the asyncio transport: length-prefixed JSON frames.
+
+Each frame is a 4-byte big-endian length followed by a compact JSON
+body ``{"src", "dst", "size", "payload"}``.  JSON keeps the repo free
+of binary-codec dependencies; the encodings below cover everything the
+protocol puts on the wire:
+
+* ``bytes`` — base64 under an ``{"__b64__": ...}`` marker,
+* :class:`~repro.timestamps.Timestamp` — ``{"__ts__": [time, pid,
+  kind]}`` (checked *before* the generic dataclass branch, because a
+  Timestamp is itself a frozen dataclass),
+* ``frozenset`` — ``{"__fs__": sorted list}`` (replica target sets),
+* registered message dataclasses — ``{"__msg__": name, "f": fields}``.
+
+The registry is seeded with every dataclass in
+:mod:`repro.core.messages`; baselines or extensions with their own
+message types add them via :func:`register_wire_type`.
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import json
+import struct
+from typing import Any, Dict, Optional, Tuple, Type
+
+from ..core import messages as _messages
+from ..errors import ConfigurationError
+from ..timestamps import Timestamp
+from ..types import ProcessId
+
+__all__ = [
+    "encode_frame",
+    "decode_frame",
+    "read_frame",
+    "register_wire_type",
+]
+
+_HEADER = struct.Struct(">I")
+_MAX_FRAME = 64 * 1024 * 1024  # sanity bound; a stripe is ~KBs
+
+_REGISTRY: Dict[str, Type] = {}
+
+
+def register_wire_type(cls: Type) -> Type:
+    """Make a message dataclass encodable/decodable on the wire.
+
+    Usable as a decorator.  Field values must themselves be wire
+    encodable (scalars, bytes, Timestamps, frozensets, lists, or other
+    registered dataclasses).
+    """
+    if not dataclasses.is_dataclass(cls):
+        raise ConfigurationError(
+            f"wire types must be dataclasses, got {cls!r}"
+        )
+    _REGISTRY[cls.__name__] = cls
+    return cls
+
+
+for _name in dir(_messages):
+    _obj = getattr(_messages, _name)
+    if isinstance(_obj, type) and dataclasses.is_dataclass(_obj):
+        _REGISTRY[_obj.__name__] = _obj
+
+
+def _encode(value: Any) -> Any:
+    if value is None or isinstance(value, (int, float, str, bool)):
+        return value
+    if isinstance(value, (bytes, bytearray)):
+        return {"__b64__": base64.b64encode(bytes(value)).decode("ascii")}
+    # Timestamp is a frozen dataclass: must be matched before the
+    # generic registered-dataclass branch.
+    if isinstance(value, Timestamp):
+        return {"__ts__": [value.time, value.process_id, value.kind]}
+    if isinstance(value, frozenset):
+        return {"__fs__": sorted(value)}
+    if isinstance(value, (list, tuple)):
+        return [_encode(item) for item in value]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        name = type(value).__name__
+        if name not in _REGISTRY:
+            raise ConfigurationError(
+                f"{name} is not wire-registered; call register_wire_type"
+            )
+        # dataclasses.asdict would recurse into nested Timestamps and
+        # flatten them to plain dicts; walk fields ourselves instead.
+        fields = {
+            field.name: _encode(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+        return {"__msg__": name, "f": fields}
+    raise ConfigurationError(f"cannot wire-encode {type(value).__name__}")
+
+
+def _decode(value: Any) -> Any:
+    if isinstance(value, list):
+        return [_decode(item) for item in value]
+    if not isinstance(value, dict):
+        return value
+    if "__b64__" in value:
+        return base64.b64decode(value["__b64__"])
+    if "__ts__" in value:
+        time, process_id, kind = value["__ts__"]
+        return Timestamp(time, process_id, kind)
+    if "__fs__" in value:
+        return frozenset(value["__fs__"])
+    if "__msg__" in value:
+        name = value["__msg__"]
+        cls = _REGISTRY.get(name)
+        if cls is None:
+            raise ConfigurationError(f"unknown wire message type {name!r}")
+        fields = {key: _decode(item) for key, item in value["f"].items()}
+        return cls(**fields)
+    return value
+
+
+def encode_frame(
+    src: ProcessId, dst: ProcessId, payload: Any, size: int = 0
+) -> bytes:
+    """One message as a length-prefixed frame ready for a socket."""
+    body = json.dumps(
+        {"src": src, "dst": dst, "size": size, "payload": _encode(payload)},
+        separators=(",", ":"),
+    ).encode("utf-8")
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_frame(data: bytes) -> Tuple[ProcessId, ProcessId, Any, int]:
+    """Inverse of :func:`encode_frame` for a complete frame body.
+
+    ``data`` excludes the 4-byte length prefix.  Returns
+    ``(src, dst, payload, size)``.
+    """
+    raw = json.loads(data.decode("utf-8"))
+    return raw["src"], raw["dst"], _decode(raw["payload"]), raw["size"]
+
+
+async def read_frame(
+    reader,
+) -> Optional[Tuple[ProcessId, ProcessId, Any, int]]:
+    """Read one frame from an ``asyncio.StreamReader``.
+
+    Returns None on clean EOF (peer closed between frames).
+
+    Raises:
+        ConfigurationError: on an implausible frame length (protects
+            against desync / garbage on the port).
+    """
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except (asyncio.IncompleteReadError, ConnectionResetError):
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > _MAX_FRAME:
+        raise ConfigurationError(f"frame length {length} exceeds bound")
+    try:
+        body = await reader.readexactly(length)
+    except (asyncio.IncompleteReadError, ConnectionResetError):
+        return None
+    return decode_frame(body)

@@ -13,7 +13,7 @@ class TestAbd:
         cluster = AbdCluster(AbdConfig(n=5))
         cluster.write(0, b"v")
         for pid in range(1, 6):
-            assert cluster.read(0, coordinator_pid=pid) == b"v"
+            assert cluster.read(0, route=pid) == b"v"
 
     def test_single_phase_write_cost(self):
         """SWMR writes: one round trip (2δ, 2n messages)."""

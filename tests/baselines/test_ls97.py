@@ -31,9 +31,9 @@ class TestBasicOperation:
 
     def test_any_coordinator(self):
         cluster = Ls97Cluster(Ls97Config(n=5))
-        cluster.write(0, b"x", coordinator_pid=2)
+        cluster.write(0, b"x", route=2)
         for pid in range(1, 6):
-            assert cluster.read(0, coordinator_pid=pid) == b"x"
+            assert cluster.read(0, route=pid) == b"x"
 
 
 class TestFaultTolerance:

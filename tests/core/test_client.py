@@ -48,20 +48,20 @@ class TestRetryingClient:
         """
         cluster = make_cluster(m=3, n=5)  # observe_timestamps on
         cluster.env.run(until=100.0)
-        cluster.register(0, coordinator_pid=1).write_stripe(
+        cluster.register(0, route=1).write_stripe(
             stripe_of(3, 32, tag=1)
         )
         loser = cluster.coordinators[2]
         loser.ts_source._clock = lambda: 0.0  # stalled physical clock
         client = RetryingClient(
-            cluster.register(0, coordinator_pid=2),
+            cluster.register(0, route=2),
             RetryPolicy(attempts=5, backoff=10.0),
         )
         stripe = stripe_of(3, 32, tag=2)
         assert client.write_stripe(stripe) == "OK"
         assert client.stats["retries"] >= 1
         assert client.stats["exhausted"] == 0
-        assert cluster.register(0, coordinator_pid=3).read_stripe() == stripe
+        assert cluster.register(0, route=3).read_stripe() == stripe
 
     def test_exhaustion_returns_abort(self):
         cluster = make_cluster(m=3, n=5, op_timeout=20.0)

@@ -28,19 +28,19 @@ class TestConcurrentWrites:
         cluster = make_cluster(m=3, n=5)
         s1 = unique_stripe(3, 32, 1)
         s2 = unique_stripe(3, 32, 2)
-        p1 = cluster.register(0, coordinator_pid=1).write_stripe_async(s1)
-        p2 = cluster.register(0, coordinator_pid=2).write_stripe_async(s2)
+        p1 = cluster.register(0, route=1).write_stripe_async(s1)
+        p2 = cluster.register(0, route=2).write_stripe_async(s2)
         cluster.env.run()
         results = {p1.value, p2.value}
         # At least the final state must be consistent with the outcomes.
-        value = cluster.register(0, coordinator_pid=3).read_stripe()
+        value = cluster.register(0, route=3).read_stripe()
         committed = [s for s, p in ((s1, p1), (s2, p2)) if p.value == "OK"]
         if committed:
             assert value in committed or value in (s1, s2)
         else:
             # Both aborted: the register may hold either value or nil
             # (aborts are non-deterministic), but reads must agree.
-            again = cluster.register(0, coordinator_pid=4).read_stripe()
+            again = cluster.register(0, route=4).read_stripe()
             assert again == value
 
     def test_sequential_interleaved_coordinators_never_abort(self):
@@ -48,7 +48,7 @@ class TestConcurrentWrites:
         cluster = make_cluster(m=3, n=5)
         for tag in range(10):
             pid = (tag % 5) + 1
-            register = cluster.register(0, coordinator_pid=pid)
+            register = cluster.register(0, route=pid)
             assert register.write_stripe(unique_stripe(3, 32, tag)) == "OK"
             assert register.read_stripe() == unique_stripe(3, 32, tag)
 
@@ -85,13 +85,13 @@ class TestConcurrentReadWrite:
         old = unique_stripe(3, 32, 1)
         register.write_stripe(old)
         new = unique_stripe(3, 32, 2)
-        write_process = cluster.register(0, coordinator_pid=1).write_stripe_async(new)
-        read_process = cluster.register(0, coordinator_pid=2).read_stripe_async()
+        write_process = cluster.register(0, route=1).write_stripe_async(new)
+        read_process = cluster.register(0, route=2).read_stripe_async()
         cluster.env.run()
         read_value = read_process.value
         assert read_value in (old, new, ABORT)
         if write_process.value == "OK":
-            assert cluster.register(0, coordinator_pid=3).read_stripe() == new
+            assert cluster.register(0, route=3).read_stripe() == new
 
     def test_concurrent_readers_all_agree_eventually(self):
         cluster = make_cluster(m=3, n=5)
@@ -99,7 +99,7 @@ class TestConcurrentReadWrite:
         stripe = unique_stripe(3, 32, 1)
         register.write_stripe(stripe)
         processes = [
-            cluster.register(0, coordinator_pid=pid).read_stripe_async()
+            cluster.register(0, route=pid).read_stripe_async()
             for pid in range(1, 6)
         ]
         cluster.env.run()

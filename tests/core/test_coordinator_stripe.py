@@ -36,19 +36,19 @@ class TestWriteReadStripe:
         assert b.read_stripe() == stripe_b
 
     def test_any_coordinator_can_read(self, cluster):
-        writer = cluster.register(0, coordinator_pid=1)
+        writer = cluster.register(0, route=1)
         stripe = stripe_of(3, 32, tag=3)
         writer.write_stripe(stripe)
         for pid in range(2, 6):
-            reader = cluster.register(0, coordinator_pid=pid)
+            reader = cluster.register(0, route=pid)
             assert reader.read_stripe() == stripe
 
     def test_alternating_coordinators_write(self, cluster):
         for tag, pid in enumerate([1, 2, 3, 4, 5, 1, 3], start=1):
-            register = cluster.register(0, coordinator_pid=pid)
+            register = cluster.register(0, route=pid)
             stripe = stripe_of(3, 32, tag=tag)
             assert register.write_stripe(stripe) == "OK"
-            assert cluster.register(0, coordinator_pid=(pid % 5) + 1).read_stripe() == stripe
+            assert cluster.register(0, route=(pid % 5) + 1).read_stripe() == stripe
 
 
 class TestFaultTolerance:
@@ -73,7 +73,7 @@ class TestFaultTolerance:
 
     def test_ec_5_9_tolerates_two_crashes(self):
         cluster = make_cluster(m=5, n=9, block_size=16)  # f = 2
-        register = cluster.register(0, coordinator_pid=5)
+        register = cluster.register(0, route=5)
         stripe = stripe_of(5, 16, tag=1)
         register.write_stripe(stripe)
         cluster.crash(1)
@@ -83,7 +83,7 @@ class TestFaultTolerance:
     def test_data_survives_any_single_crash(self):
         for victim in range(1, 6):
             cluster = make_cluster(m=3, n=5)
-            register = cluster.register(0, coordinator_pid=2 if victim == 1 else 1)
+            register = cluster.register(0, route=2 if victim == 1 else 1)
             stripe = stripe_of(3, 32, tag=victim)
             register.write_stripe(stripe)
             cluster.crash(victim)
@@ -105,7 +105,7 @@ class TestFaultTolerance:
         """The paper: 'can tolerate the simultaneous crash of all
         processes, and makes progress whenever an m-quorum comes back'."""
         cluster = make_cluster(m=3, n=5)
-        register = cluster.register(0, coordinator_pid=1)
+        register = cluster.register(0, route=1)
         stripe = stripe_of(3, 32, tag=1)
         register.write_stripe(stripe)
         for pid in range(1, 6):
@@ -147,13 +147,13 @@ class TestAborts:
         """A coordinator whose clock is far behind gets refused."""
         cluster = make_cluster(m=3, n=5, observe_timestamps=False)
         cluster.env.run(until=100.0)  # give writer 1 a large timestamp
-        fast = cluster.register(0, coordinator_pid=1)
+        fast = cluster.register(0, route=1)
         fast.write_stripe(stripe_of(3, 32, tag=1))
         # Manually regress coordinator 2's clock far behind 1's.
         slow_coord = cluster.coordinator(2)
         slow_coord.ts_source._last_time = 0
         slow_coord.ts_source._clock = lambda: -10**6
-        result = cluster.register(0, coordinator_pid=2).write_stripe(
+        result = cluster.register(0, route=2).write_stripe(
             stripe_of(3, 32, tag=2)
         )
         assert result is ABORT
@@ -166,14 +166,14 @@ class TestAborts:
         register.write_stripe(stripe)
         slow_coord = cluster.coordinator(2)
         slow_coord.ts_source._clock = lambda: -10**6
-        cluster.register(0, coordinator_pid=2).write_stripe(stripe_of(3, 32, tag=2))
+        cluster.register(0, route=2).write_stripe(stripe_of(3, 32, tag=2))
         assert register.read_stripe() == stripe
 
     def test_retry_after_abort_succeeds(self):
         """PROGRESS: observing replies lets the loser catch up."""
         cluster = make_cluster(m=3, n=5)  # observe_timestamps on by default
-        cluster.register(0, coordinator_pid=1).write_stripe(stripe_of(3, 32, tag=1))
-        loser = cluster.register(0, coordinator_pid=2)
+        cluster.register(0, route=1).write_stripe(stripe_of(3, 32, tag=1))
+        loser = cluster.register(0, route=2)
         loser.coordinator.ts_source._clock = lambda: 0.0  # stalled clock
         stripe = stripe_of(3, 32, tag=2)
         result = loser.write_stripe(stripe)

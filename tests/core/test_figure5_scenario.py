@@ -30,7 +30,7 @@ def run_figure5_on_our_protocol():
     env = cluster.env
 
     # Initial state: v committed everywhere (coordinator b).
-    assert cluster.register(0, coordinator_pid=2).write_stripe(V_OLD) == "OK"
+    assert cluster.register(0, route=2).write_stripe(V_OLD) == "OK"
 
     # write1(v') from coordinator a.  Let the Order phase complete
     # (one round trip = 2 time units), then cut a off from b and c so
@@ -50,11 +50,11 @@ def run_figure5_on_our_protocol():
     assert cluster.replicas[2].state(0).log.max_block()[1] == V_OLD[0]
     assert cluster.replicas[3].state(0).log.max_block()[1] == V_OLD[0]
 
-    read2 = cluster.register(0, coordinator_pid=3).read_stripe()
+    read2 = cluster.register(0, route=3).read_stripe()
 
     cluster.nodes[1].recover()
-    read3 = cluster.register(0, coordinator_pid=2).read_stripe()
-    read3_again = cluster.register(0, coordinator_pid=3).read_stripe()
+    read3 = cluster.register(0, route=2).read_stripe()
+    read3_again = cluster.register(0, route=3).read_stripe()
     return read2, read3, read3_again
 
 
@@ -73,7 +73,7 @@ class TestFigure5Ls97Anomaly:
         cluster = Ls97Cluster(Ls97Config(n=3))
         env = cluster.env
 
-        assert cluster.write(0, V_OLD[0], coordinator_pid=2) == "OK"
+        assert cluster.write(0, V_OLD[0], route=2) == "OK"
 
         writer = cluster.coordinators[1]
         process = cluster.nodes[1].spawn(writer.write(0, V_NEW[0]))
@@ -88,11 +88,11 @@ class TestFigure5Ls97Anomaly:
         assert cluster.nodes[1].stable.load("reg:0")[1] == V_NEW[0]
         assert cluster.nodes[2].stable.load("reg:0")[1] == V_OLD[0]
 
-        read2 = cluster.read(0, coordinator_pid=3)
+        read2 = cluster.read(0, route=3)
         assert read2 == V_OLD[0]
 
         cluster.nodes[1].recover()
-        read3 = cluster.read(0, coordinator_pid=3)
+        read3 = cluster.read(0, route=3)
         # LS97 write-back completes the partial write arbitrarily late:
         # the anomaly strict linearizability forbids.
         assert read3 == V_NEW[0]

@@ -143,7 +143,7 @@ class TestGcRecoveryInterplay:
         from repro.sim.failures import MessageCountTrigger
 
         cluster = make_cluster(m=3, n=5, gc_enabled=True)
-        register = cluster.register(0, coordinator_pid=2)
+        register = cluster.register(0, route=2)
         committed = stripe_of(3, 32, tag=1)
         register.write_stripe(committed)
         cluster.run(until=cluster.env.now + 30)  # GC lands: logs hold 1 entry
@@ -164,7 +164,7 @@ class TestGcRecoveryInterplay:
         from repro.sim.failures import MessageCountTrigger
 
         cluster = make_cluster(m=3, n=5, gc_enabled=True)
-        register = cluster.register(0, coordinator_pid=2)
+        register = cluster.register(0, route=2)
         register.write_stripe(stripe_of(3, 32, tag=1))
         cluster.run(until=cluster.env.now + 30)
 

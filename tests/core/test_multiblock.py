@@ -66,7 +66,7 @@ class TestWriteBlocks:
         cluster.crash(1)
         cluster.crash(2)  # exceed f: bring one back
         cluster.recover(1)
-        value = cluster.register(0, coordinator_pid=3).read_stripe()
+        value = cluster.register(0, route=3).read_stripe()
         assert value == [updates[1], updates[2], stripe[2]]
 
     def test_empty_updates_is_noop(self, loaded_cluster):
@@ -141,5 +141,5 @@ class TestWriteBlocks:
         assert register.write_blocks(updates) == "OK"
         cluster.recover(5)
         cluster.crash(4)
-        value = cluster.register(0, coordinator_pid=2).read_stripe()
+        value = cluster.register(0, route=2).read_stripe()
         assert value[1] == updates[2]

@@ -32,7 +32,7 @@ class TestRollBack:
         """Coordinator dies after sending only Order messages: no value
         was ever stored, the old value must survive."""
         cluster = make_cluster(m=3, n=5)
-        register = cluster.register(0, coordinator_pid=2)
+        register = cluster.register(0, route=2)
         old = stripe_of(3, 32, tag=1)
         register.write_stripe(old)
 
@@ -51,7 +51,7 @@ class TestRollBack:
         unreconstructable and must be rolled back (the paper's m=5, n=7
         motivating scenario, scaled to m=3, n=5)."""
         cluster = make_cluster(m=3, n=5)
-        register = cluster.register(0, coordinator_pid=2)
+        register = cluster.register(0, route=2)
         old = stripe_of(3, 32, tag=1)
         register.write_stripe(old)
 
@@ -66,7 +66,7 @@ class TestRollBack:
 
     def test_rolled_back_value_never_reappears(self):
         cluster = make_cluster(m=3, n=5)
-        register = cluster.register(0, coordinator_pid=2)
+        register = cluster.register(0, route=2)
         old = stripe_of(3, 32, tag=1)
         register.write_stripe(old)
         doomed = stripe_of(3, 32, tag=2)
@@ -86,7 +86,7 @@ class TestRollBack:
         crash_writer_after(cluster, 1, count=2, payload_type=WriteReq)
         start_write(cluster, 1, 5, stripe_of(3, 32, tag=1))
         cluster.env.run()
-        register = cluster.register(5, coordinator_pid=3)
+        register = cluster.register(5, route=3)
         assert register.read_stripe() is None
 
 
@@ -95,7 +95,7 @@ class TestRollForward:
         """At least m new blocks stored (but no complete quorum): the
         next read finds enough blocks and completes the write."""
         cluster = make_cluster(m=3, n=5)
-        register = cluster.register(0, coordinator_pid=2)
+        register = cluster.register(0, route=2)
         old = stripe_of(3, 32, tag=1)
         register.write_stripe(old)
 
@@ -117,7 +117,7 @@ class TestRollForward:
 
     def test_roll_forward_read_uses_slow_path(self):
         cluster = make_cluster(m=3, n=5)
-        register = cluster.register(0, coordinator_pid=2)
+        register = cluster.register(0, route=2)
         register.write_stripe(stripe_of(3, 32, tag=1))
         crash_writer_after(cluster, 1, count=4, payload_type=WriteReq)
         start_write(cluster, 1, 0, stripe_of(3, 32, tag=2))
@@ -127,14 +127,14 @@ class TestRollForward:
 
     def test_roll_forward_visible_to_all_coordinators(self):
         cluster = make_cluster(m=3, n=5)
-        seed_register = cluster.register(0, coordinator_pid=2)
+        seed_register = cluster.register(0, route=2)
         seed_register.write_stripe(stripe_of(3, 32, tag=1))
         new = stripe_of(3, 32, tag=2)
         crash_writer_after(cluster, 1, count=4, payload_type=WriteReq)
         start_write(cluster, 1, 0, new)
         cluster.env.run()
         for pid in (2, 3, 4, 5):
-            assert cluster.register(0, coordinator_pid=pid).read_stripe() == new
+            assert cluster.register(0, route=pid).read_stripe() == new
 
 
 class TestPaperSection411Example:
@@ -146,7 +146,7 @@ class TestPaperSection411Example:
 
     def test_neither_version_complete_old_recovered(self):
         cluster = make_cluster(m=5, n=7, block_size=16)
-        register = cluster.register(0, coordinator_pid=2)
+        register = cluster.register(0, route=2)
         old = stripe_of(5, 16, tag=1)
         assert register.write_stripe(old) == "OK"
 
@@ -171,7 +171,7 @@ class TestPaperSection411Example:
 
     def test_with_five_new_blocks_rolls_forward(self):
         cluster = make_cluster(m=5, n=7, block_size=16)
-        register = cluster.register(0, coordinator_pid=2)
+        register = cluster.register(0, route=2)
         register.write_stripe(stripe_of(5, 16, tag=1))
         new = stripe_of(5, 16, tag=2)
         crash_writer_after(cluster, 1, count=6, payload_type=WriteReq)
@@ -188,7 +188,7 @@ class TestDecisionStability:
     @pytest.mark.parametrize("writes_before_crash", [1, 2, 3, 4])
     def test_fate_decided_once(self, writes_before_crash):
         cluster = make_cluster(m=3, n=5)
-        register = cluster.register(0, coordinator_pid=2)
+        register = cluster.register(0, route=2)
         old = stripe_of(3, 32, tag=1)
         register.write_stripe(old)
         new = stripe_of(3, 32, tag=2)
@@ -202,8 +202,8 @@ class TestDecisionStability:
         assert first in (old, new)
         cluster.recover(1)
         cluster.crash(3)
-        second = cluster.register(0, coordinator_pid=4).read_stripe()
+        second = cluster.register(0, route=4).read_stripe()
         assert second == first
         cluster.recover(3)
-        third = cluster.register(0, coordinator_pid=5).read_stripe()
+        third = cluster.register(0, route=5).read_stripe()
         assert third == first

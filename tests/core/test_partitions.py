@@ -15,7 +15,7 @@ from tests.conftest import make_cluster, stripe_of
 class TestPartitionSemantics:
     def test_majority_side_keeps_serving(self):
         cluster = make_cluster(m=3, n=5)  # quorum = 4
-        register = cluster.register(0, coordinator_pid=1)
+        register = cluster.register(0, route=1)
         stripe = stripe_of(3, 32, tag=1)
         register.write_stripe(stripe)
         cluster.network.partition({5}, {1, 2, 3, 4})
@@ -26,38 +26,38 @@ class TestPartitionSemantics:
 
     def test_minority_side_blocks(self):
         cluster = make_cluster(m=3, n=5, op_timeout=40.0)
-        register_majority = cluster.register(0, coordinator_pid=1)
+        register_majority = cluster.register(0, route=1)
         register_majority.write_stripe(stripe_of(3, 32, tag=1))
         cluster.network.partition({4, 5}, {1, 2, 3})
-        minority = cluster.register(0, coordinator_pid=4)
+        minority = cluster.register(0, route=4)
         assert minority.read_stripe() is ABORT  # cannot reach a quorum
 
     def test_no_split_brain_writes(self):
         """With a 2/3 split of five bricks, at most one side can write."""
         cluster = make_cluster(m=3, n=5, op_timeout=40.0)
-        cluster.register(0, coordinator_pid=1).write_stripe(
+        cluster.register(0, route=1).write_stripe(
             stripe_of(3, 32, tag=1)
         )
         cluster.network.partition({1, 2}, {3, 4, 5})
-        side_a = cluster.register(0, coordinator_pid=1).write_stripe(
+        side_a = cluster.register(0, route=1).write_stripe(
             stripe_of(3, 32, tag=2)
         )
-        side_b = cluster.register(0, coordinator_pid=3).write_stripe(
+        side_b = cluster.register(0, route=3).write_stripe(
             stripe_of(3, 32, tag=3)
         )
         # Neither side has 4 bricks: both abort; no divergence possible.
         assert side_a is ABORT
         assert side_b is ABORT
         cluster.network.heal_partition()
-        value = cluster.register(0, coordinator_pid=2).read_stripe()
+        value = cluster.register(0, route=2).read_stripe()
         # Aborted writes may or may not have taken effect, but all
         # readers agree after healing.
-        again = cluster.register(0, coordinator_pid=5).read_stripe()
+        again = cluster.register(0, route=5).read_stripe()
         assert value == again
 
     def test_heal_reconciles_stale_minority(self):
         cluster = make_cluster(m=3, n=5)
-        register = cluster.register(0, coordinator_pid=1)
+        register = cluster.register(0, route=1)
         register.write_stripe(stripe_of(3, 32, tag=1))
         cluster.network.partition({5}, {1, 2, 3, 4})
         newer = stripe_of(3, 32, tag=2)
@@ -65,12 +65,12 @@ class TestPartitionSemantics:
         cluster.network.heal_partition()
         # Brick 5 missed the write; a coordinator ON brick 5 still
         # reads the new value (its quorum overlaps the write quorum).
-        assert cluster.register(0, coordinator_pid=5).read_stripe() == newer
+        assert cluster.register(0, route=5).read_stripe() == newer
 
     def test_flapping_partition(self):
         """Repeated partition/heal cycles never corrupt data."""
         cluster = make_cluster(m=3, n=5)
-        register = cluster.register(0, coordinator_pid=1)
+        register = cluster.register(0, route=1)
         last = None
         for cycle in range(4):
             cluster.network.partition({(cycle % 5) + 1}, set(range(1, 6)) - {(cycle % 5) + 1})
@@ -78,17 +78,17 @@ class TestPartitionSemantics:
             if coordinator_pid == (cycle % 5) + 1:
                 coordinator_pid = ((cycle + 2) % 5) + 1
             stripe = stripe_of(3, 32, tag=cycle)
-            register_cycle = cluster.register(0, coordinator_pid=coordinator_pid)
+            register_cycle = cluster.register(0, route=coordinator_pid)
             if register_cycle.write_stripe(stripe) == "OK":
                 last = stripe
             cluster.network.heal_partition()
-        assert cluster.register(0, coordinator_pid=1).read_stripe() == last
+        assert cluster.register(0, route=1).read_stripe() == last
 
     def test_partition_during_write_partial_handled(self):
         """A partition landing mid-write creates a partial write that
         the next read resolves deterministically."""
         cluster = make_cluster(m=3, n=5)
-        register = cluster.register(0, coordinator_pid=2)
+        register = cluster.register(0, route=2)
         old = stripe_of(3, 32, tag=1)
         register.write_stripe(old)
 
@@ -103,6 +103,6 @@ class TestPartitionSemantics:
         cluster.network.heal_partition()
         cluster.env.run()
 
-        value = cluster.register(0, coordinator_pid=3).read_stripe()
+        value = cluster.register(0, route=3).read_stripe()
         assert value in (old, new)
-        assert cluster.register(0, coordinator_pid=4).read_stripe() == value
+        assert cluster.register(0, route=4).read_stripe() == value

@@ -60,7 +60,7 @@ class TestScrubber:
 class TestRebuilder:
     def test_rebuild_restores_full_redundancy(self):
         cluster, newer = cluster_with_stale_brick(registers=3)
-        rebuilder = Rebuilder(cluster, coordinator_pid=1)
+        rebuilder = Rebuilder(cluster, route=1)
         report = rebuilder.rebuild(range(3))
         assert report.success
         assert report.repaired == 3
@@ -109,13 +109,13 @@ class TestRebuilder:
     def test_rebuild_is_linearization_safe(self):
         """Rebuild concurrent with client writes never loses data."""
         cluster, _ = cluster_with_stale_brick(registers=1)
-        rebuilder = Rebuilder(cluster, coordinator_pid=1)
+        rebuilder = Rebuilder(cluster, route=1)
         # Launch a client write concurrently with the rebuild.
         final = stripe_of(3, 32, tag=999)
-        write_process = cluster.register(0, coordinator_pid=2).write_stripe_async(final)
+        write_process = cluster.register(0, route=2).write_stripe_async(final)
         rebuilder.rebuild([0])
         cluster.env.run()
-        value = cluster.register(0, coordinator_pid=3).read_stripe()
+        value = cluster.register(0, route=3).read_stripe()
         if write_process.value == "OK":
             assert value == final
         else:

@@ -70,8 +70,36 @@ def test_volume_default_route_from_constructor(cluster):
 def test_cluster_register_accepts_route(cluster):
     register = cluster.register(0, route=RouteOptions(coordinator=4))
     assert register.coordinator is cluster.coordinator(4)
-    register = cluster.register(0, coordinator_pid=2)
+    with pytest.deprecated_call():
+        register = cluster.register(0, coordinator_pid=2)
     assert register.coordinator is cluster.coordinator(2)
+
+
+def test_resolve_route_warning_names_the_replacement():
+    with pytest.warns(DeprecationWarning, match="use route=RouteOptions"):
+        resolve_route(coordinator_pid=2)
+
+
+def test_legacy_pid_resolves_like_route_options(cluster):
+    """The shim must route identically to the RouteOptions equivalent."""
+    from repro.core.rebuild import Rebuilder
+
+    modern = Rebuilder(cluster, route=RouteOptions(coordinator=2))
+    with pytest.deprecated_call():
+        legacy = Rebuilder(cluster, coordinator_pid=2)
+    assert legacy.route == modern.route
+    assert legacy.coordinator_pid == modern.coordinator_pid == 2
+
+    via_options = cluster.register(0, route=RouteOptions(coordinator=3))
+    with pytest.deprecated_call():
+        via_pid = cluster.register(0, coordinator_pid=3)
+    assert via_pid.coordinator is via_options.coordinator
+
+
+def test_volume_rejects_both_route_and_coordinator_pid(cluster):
+    volume = LogicalVolume(cluster, num_stripes=4)
+    with pytest.raises(ConfigurationError, match="not both"):
+        volume.read(0, route=2, coordinator_pid=3)
 
 
 def test_failover_disabled_surfaces_crash_on_sync_ops():

@@ -82,8 +82,8 @@ class TestBlockIO:
 
     def test_read_via_other_coordinator(self, volume):
         data = block_of(32, tag=2)
-        volume.write(7, data, coordinator_pid=1)
-        assert volume.read(7, coordinator_pid=4) == data
+        volume.write(7, data, route=1)
+        assert volume.read(7, route=4) == data
 
 
 class TestRangeIO:

@@ -36,7 +36,7 @@ class TestFailover:
         cluster = make_cluster(m=3, n=5)
         volume = LogicalVolume(cluster, num_stripes=2)
         cluster.crash(4)
-        assert volume.write(1, block_of(32, tag=4), coordinator_pid=4) == "OK"
+        assert volume.write(1, block_of(32, tag=4), route=4) == "OK"
 
     def test_failover_preserves_strictness(self):
         """The first coordinator's partial write and the retried write
@@ -53,7 +53,7 @@ class TestFailover:
         first = volume.read(0)
         assert first == replacement
         for pid in (2, 3, 4, 5):
-            assert volume.read(0, coordinator_pid=pid) == first
+            assert volume.read(0, route=pid) == first
 
     def test_gives_up_after_bounded_attempts(self):
         cluster = make_cluster(m=3, n=5, op_timeout=30.0)

@@ -76,7 +76,7 @@ class TestSoak:
         cluster.crash(6)
         for block in range(0, volume.num_blocks, 2):
             assert volume.write(block, bytes([(block + 7) % 256]) * 128) == "OK"
-        report = Rebuilder(cluster, coordinator_pid=1).rebuild_brick(
+        report = Rebuilder(cluster, route=1).rebuild_brick(
             6, range(10)
         )
         assert report.aborted == 0

@@ -1,0 +1,94 @@
+"""AsyncioTransport end-to-end: loopback serve, TCP framing, drain_async."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro import api
+from repro.analysis.serve import run_serve
+from repro.errors import ConfigurationError, SimulationError
+
+
+def test_loopback_serve_end_to_end(tmp_path):
+    """A small serve run completes with zero failed sessions and a
+    well-formed JSON artifact."""
+    json_out = tmp_path / "BENCH_serve.json"
+    result = run_serve(
+        clients=8, ops_per_client=4, mode="loopback", json_out=str(json_out)
+    )
+    assert result["failed_sessions"] == 0
+    assert result["failed_ops"] == 0
+    assert result["total_ops"] == 8 * 4
+    assert result["ops_per_sec"] > 0
+    assert result["p99_ms"] >= result["p50_ms"] >= 0
+    on_disk = json.loads(json_out.read_text())
+    assert on_disk == result
+
+
+def test_tcp_serve_smoke(tmp_path):
+    """The same protocol over real sockets (skipped if the port range
+    is unavailable in the environment)."""
+    try:
+        result = run_serve(
+            clients=3,
+            ops_per_client=2,
+            mode="tcp",
+            base_port=7711,
+            json_out=str(tmp_path / "BENCH_serve_tcp.json"),
+        )
+    except OSError as error:  # pragma: no cover - sandboxed environments
+        pytest.skip(f"cannot bind TCP ports: {error}")
+    assert result["failed_sessions"] == 0
+    assert result["mode"] == "tcp"
+
+
+def test_serve_validates_inputs():
+    with pytest.raises(ConfigurationError, match="clients"):
+        run_serve(clients=0)
+    with pytest.raises(ConfigurationError, match="ops per client"):
+        run_serve(ops_per_client=0)
+
+
+def test_asyncio_cluster_rejects_sync_register_driving():
+    cluster = api.open_cluster(m=3, n=5, transport="asyncio")
+    register = cluster.register(0)
+    with pytest.raises(SimulationError, match="synchronously"):
+        register.read_stripe()
+
+
+def test_drain_async_works_on_sim_transport():
+    """drain_async is substrate-agnostic: on the sim transport it steps
+    the kernel synchronously inside the event loop."""
+    volume = api.open_volume(m=3, n=5, blocks=6)
+    data = b"d" * volume.block_size
+
+    async def drive():
+        session = volume.session(max_inflight=4)
+        session.submit_write(0, data)
+        session.submit_read(0)
+        return await session.drain_async()
+
+    ops = asyncio.run(drive())
+    assert [op.ok for op in ops] == [True, True]
+    assert ops[1].value == data
+
+
+def test_timer_handles_cancel_before_start():
+    """Timers armed before start() fire once the pump runs; cancelled
+    ones never do."""
+    from repro.transport.aio import AsyncioTransport
+
+    transport = AsyncioTransport(mode="loopback", time_scale=1000.0)
+    fired = []
+
+    async def drive():
+        await transport.start()
+        transport.set_timer(1.0, lambda: fired.append("kept"))
+        doomed = transport.set_timer(1.0, lambda: fired.append("cancelled"))
+        transport.cancel_timer(doomed)
+        await asyncio.sleep(0.05)
+        await transport.stop()
+
+    asyncio.run(drive())
+    assert fired == ["kept"]

@@ -1,0 +1,114 @@
+"""Wire-format round trips for the asyncio transport."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import messages
+from repro.errors import ConfigurationError
+from repro.timestamps import HIGH_TS, LOW_TS, Timestamp
+from repro.transport.wire import (
+    decode_frame,
+    encode_frame,
+    register_wire_type,
+)
+
+TS = Timestamp(12.5, 3)
+
+
+def roundtrip(payload, src=1, dst=2, size=64):
+    frame = encode_frame(src, dst, payload, size=size)
+    out_src, out_dst, out_payload, out_size = decode_frame(frame[4:])
+    assert (out_src, out_dst, out_size) == (src, dst, size)
+    return out_payload
+
+
+def test_scalars_bytes_and_none_roundtrip():
+    assert roundtrip(None) is None
+    assert roundtrip(42) == 42
+    assert roundtrip("status") == "status"
+    assert roundtrip(b"\x00\xffpayload") == b"\x00\xffpayload"
+    assert roundtrip([1, b"a", None]) == [1, b"a", None]
+
+
+def test_timestamp_roundtrip_including_sentinels():
+    for ts in (TS, LOW_TS, HIGH_TS, Timestamp(0, 0)):
+        back = roundtrip(ts)
+        assert isinstance(back, Timestamp)
+        assert back == ts
+        assert back.kind == ts.kind
+
+
+def test_every_protocol_message_roundtrips():
+    """Each message in repro.core.messages survives encode/decode."""
+    samples = [
+        messages.ReadReq(0, 7, targets=frozenset({1, 3, 5})),
+        messages.ReadReply(0, 7, "OK", val_ts=TS, block=b"data", corrupt=False),
+        messages.OrderReq(1, 8, ts=TS),
+        messages.OrderReply(1, 8, "OK", max_seen=HIGH_TS, corrupt=False),
+        messages.OrderReadReq(2, 9, j=0, max_ts=LOW_TS, ts=TS),
+        messages.OrderReadReply(2, 9, "OK", lts=TS, block=b"b" * 64,
+                                corrupt=False),
+        messages.WriteReq(3, 10, block=b"x" * 16, ts=TS),
+        messages.WriteReply(3, 10, "OK", max_seen=TS),
+        messages.ModifyReq(4, 11, j=2, old_block=b"old", new_block=b"new",
+                           delta=None, ts_j=LOW_TS, ts=TS),
+        messages.ModifyReply(4, 11, "OK"),
+        messages.GcReq(5, 12, ts=TS),
+    ]
+    for message in samples:
+        back = roundtrip(message)
+        assert back == message, message
+        assert type(back) is type(message)
+
+
+def test_nested_timestamp_stays_typed():
+    """Timestamps inside messages must decode as Timestamp, not dict."""
+    back = roundtrip(messages.WriteReq(0, 1, block=b"v", ts=TS))
+    assert isinstance(back.ts, Timestamp)
+    assert back.ts._key() == TS._key()
+
+
+def test_frozenset_targets_roundtrip_as_frozenset():
+    back = roundtrip(messages.ReadReq(0, 1, targets=frozenset({2, 4})))
+    assert isinstance(back.targets, frozenset)
+    assert back.targets == frozenset({2, 4})
+
+
+def test_unregistered_dataclass_rejected():
+    @dataclasses.dataclass
+    class NotOnTheWire:
+        x: int = 0
+
+    with pytest.raises(ConfigurationError, match="not wire-registered"):
+        encode_frame(1, 2, NotOnTheWire())
+
+
+def test_register_wire_type_decorator():
+    @register_wire_type
+    @dataclasses.dataclass(frozen=True)
+    class ProbeMsg:
+        label: str = ""
+        ts: Timestamp = LOW_TS
+
+    back = roundtrip(ProbeMsg(label="hello", ts=TS))
+    assert back == ProbeMsg(label="hello", ts=TS)
+
+    with pytest.raises(ConfigurationError, match="dataclasses"):
+        register_wire_type(object)
+
+
+def test_unknown_message_name_rejected_on_decode():
+    import json
+
+    body = json.dumps({
+        "src": 1, "dst": 2, "size": 0,
+        "payload": {"__msg__": "NoSuchMsg", "f": {}},
+    }).encode()
+    with pytest.raises(ConfigurationError, match="unknown wire message"):
+        decode_frame(body)
+
+
+def test_unencodable_value_rejected():
+    with pytest.raises(ConfigurationError, match="cannot wire-encode"):
+        encode_frame(1, 2, object())
