@@ -5,11 +5,23 @@ encode / decode / modify throughput for the Reed-Solomon, XOR-parity,
 and replication codes at realistic block sizes.  pytest-benchmark's
 timing is the artifact here; assertions pin correctness and the
 expected performance ordering (XOR beats field arithmetic).
+
+The backend sweep additionally compares the GF(2^8) kernel backends
+(``masked`` reference vs the ``table`` gather kernel vs the pure-Python
+``bytes`` kernel) across (m, n) and block sizes, writes
+``benchmarks/out/BENCH_erasure.json`` + a text report, and pins the
+headline: the table kernel encodes >= 5x faster than masked at
+(m=4, n=8, 64 KiB).
 """
+
+import json
 
 import pytest
 
+from repro.analysis import erasure_bench
 from repro.erasure import make_code
+
+from .conftest import OUT_DIR, write_artifact
 
 BLOCK = 64 * 1024  # 64 KiB stripe units
 
@@ -73,3 +85,43 @@ def test_bench_delta_apply(benchmark):
     result = benchmark(code.apply_delta, 2, 6, delta, encoded[5])
     expected = code.modify(2, 6, stripe[1], bytes(BLOCK), encoded[5])
     assert result == expected
+
+
+@pytest.mark.parametrize("backend", ["masked", "table", "bytes"])
+def test_bench_encode_backend(benchmark, backend):
+    """Per-backend encode timing at the headline geometry."""
+    code = make_code(4, 8, "reed-solomon", backend=backend)
+    stripe = make_stripe(4)
+    encoded = benchmark(code.encode, stripe)
+    assert encoded[:4] == stripe
+
+
+def run_backend_sweep():
+    return erasure_bench.run_bench(budget_mib=4.0)
+
+
+def test_bench_erasure_backends(benchmark):
+    """The backend sweep: artifacts plus the >= 5x encode headline."""
+    results = benchmark.pedantic(run_backend_sweep, rounds=1, iterations=1)
+    write_artifact("erasure_kernels", erasure_bench.render_report(results))
+    json_path = OUT_DIR / "BENCH_erasure.json"
+    json_path.write_text(erasure_bench.to_json(results) + "\n")
+
+    # The acceptance headline: table >= 5x masked on encode MiB/s at
+    # (m=4, n=8, 64 KiB stripe units).
+    speedup = erasure_bench.headline_speedup(results)
+    assert speedup is not None
+    assert speedup >= 5.0, (
+        f"table-kernel encode speedup regressed: {speedup:.1f}x < 5x"
+    )
+
+    # Every backend produced identical decode results by construction
+    # (run_case asserts round-trips); here pin the artifact's shape.
+    payload = json.loads(json_path.read_text())
+    assert payload["benchmark"] == "erasure"
+    assert payload["headline"]["encode_speedup_table_over_masked"] == speedup
+    assert set(payload["backends"]) == {"masked", "table", "bytes"}
+    assert len(payload["cases"]) == len(results)
+    for row in payload["cases"]:
+        assert row["encode_mib_s"] > 0
+        assert row["decode"][0]["mib_s"] > 0

@@ -62,3 +62,42 @@ def test_bench_simcore(benchmark):
     assert payload["benchmark"] == "simcore"
     assert payload["speedup_fast_over_seed"][f"({m},{n})x{ops}"] == speedup
     assert len(payload["cases"]) == len(results)
+
+    # New axes: every case carries coding throughput and heap traffic.
+    for row in payload["cases"]:
+        assert row["encode_mib_s"] > 0
+        assert row["decode_mib_s"] > 0
+        assert row["heap_pushes"] >= row["sim_events"]
+
+
+def run_sweep_comparison():
+    rows = {}
+    for sweeps in (True, False):
+        rows[sweeps] = simcore.run_case(
+            4, 8, 4000, "fast", delivery_sweeps=sweeps
+        )
+    return rows
+
+
+def test_bench_delivery_sweeps(benchmark):
+    """Batched delivery sweeps must not cost ops/sec — and must cut
+    kernel heap traffic on fixed-latency fan-in workloads."""
+    rows = benchmark.pedantic(run_sweep_comparison, rounds=1, iterations=1)
+    on, off = rows[True], rows[False]
+
+    # Identical protocol outcomes either way.
+    assert on["messages"] == off["messages"]
+    assert on["disk_writes"] == off["disk_writes"]
+
+    # The point of sweeps: far fewer heap pushes (fixed-latency quorum
+    # fan-in batches n replies into one event).
+    assert on["heap_pushes"] < off["heap_pushes"] * 0.8, (
+        f"sweeps saved too little heap traffic: "
+        f"{on['heap_pushes']} vs {off['heap_pushes']}"
+    )
+
+    # Ops/sec must not regress (generous margin for timer noise).
+    ratio = on["ops_per_s"] / off["ops_per_s"]
+    assert ratio >= 0.85, (
+        f"delivery sweeps regressed ops/sec: {ratio:.2f}x of unswept"
+    )

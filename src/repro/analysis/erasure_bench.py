@@ -1,0 +1,237 @@
+"""Erasure-kernel throughput profiling (the erasure benchmark).
+
+Measures raw coding speed — encode / decode / delta MiB/s and ops/s —
+per kernel backend (``table`` / ``masked`` / ``bytes``, see
+:mod:`repro.erasure.kernels`) across (m, n) geometries, block sizes,
+and survivor-loss sweeps.  The decode loss sweep erases ``0..n-m`` data
+blocks and reconstructs from the worst-case survivor set, so the numbers
+cover both the pass-through fast path and full matrix reconstruction.
+
+MiB/s counts *logical data bytes* (``m * block_size`` per stripe op),
+the same accounting a virtual-disk client sees; ops/s counts whole
+stripe operations.  Both the benchmark suite
+(``benchmarks/test_bench_erasure.py``) and the CLI
+(``python -m repro.cli erasure-bench``) drive this module and emit the
+machine-readable ``benchmarks/out/BENCH_erasure.json`` that CI asserts
+the table-over-masked speedup against.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..erasure import make_code
+from ..erasure.kernels import available_kernels
+
+__all__ = [
+    "DEFAULT_PAIRS",
+    "DEFAULT_BLOCK_SIZES",
+    "DEFAULT_BACKENDS",
+    "HEADLINE",
+    "run_case",
+    "run_bench",
+    "render_report",
+    "to_json",
+    "headline_speedup",
+]
+
+#: (m, n) geometries the default profile sweeps.
+DEFAULT_PAIRS: Tuple[Tuple[int, int], ...] = ((2, 4), (4, 8), (8, 16))
+
+#: Stripe-unit sizes in bytes.
+DEFAULT_BLOCK_SIZES: Tuple[int, ...] = (4096, 65536)
+
+#: Backends the default profile compares.
+DEFAULT_BACKENDS: Tuple[str, ...] = ("masked", "table", "bytes")
+
+#: The acceptance headline: (m, n, block_size) where the table kernel
+#: must beat the masked baseline >= 5x on encode MiB/s.
+HEADLINE: Tuple[int, int, int] = (4, 8, 65536)
+
+
+def _stripe(m: int, block_size: int, seed: int = 1) -> List[bytes]:
+    return [
+        bytes((seed + i * 37 + j) % 256 for j in range(block_size))
+        for i in range(m)
+    ]
+
+
+def _time_op(fn, op_bytes: int, budget_bytes: int) -> Tuple[float, int]:
+    """Run ``fn`` until ~``budget_bytes`` are processed; returns (s, reps)."""
+    reps = max(3, budget_bytes // max(1, op_bytes))
+    started = time.perf_counter()
+    for _ in range(reps):
+        fn()
+    return time.perf_counter() - started, reps
+
+
+def run_case(
+    m: int,
+    n: int,
+    block_size: int,
+    backend: str,
+    kind: str = "reed-solomon",
+    budget_mib: float = 8.0,
+    seed: int = 1,
+) -> Dict[str, object]:
+    """Measure one (kind, backend, m, n, block_size) cell.
+
+    Returns a flat row with encode/delta throughput plus a ``decode``
+    survivor-loss sweep (``lost`` data blocks pressed onto parity,
+    0..n-m).
+    """
+    code = make_code(m, n, kind, backend=backend)
+    stripe = _stripe(m, block_size, seed)
+    encoded = code.encode(stripe)
+    assert encoded[:m] == stripe
+    op_bytes = m * block_size
+    budget = int(budget_mib * 1024 * 1024)
+
+    encode_s, encode_reps = _time_op(lambda: code.encode(stripe), op_bytes, budget)
+    mib = encode_reps * op_bytes / (1024 * 1024)
+    row: Dict[str, object] = {
+        "kind": kind,
+        "backend": backend,
+        "m": m,
+        "n": n,
+        "block_size": block_size,
+        "encode_mib_s": mib / encode_s if encode_s > 0 else float("inf"),
+        "encode_ops_s": encode_reps / encode_s if encode_s > 0 else float("inf"),
+    }
+
+    decode_rows = []
+    max_loss = min(n - m, m)  # cannot erase more data blocks than exist
+    for lost in range(max_loss + 1):
+        # Worst case: the first `lost` data blocks are gone, parity
+        # blocks (from the tail) stand in for them.
+        survivors = {i: encoded[i - 1] for i in range(lost + 1, m + 1)}
+        for j in range(n, n - lost, -1):
+            survivors[j] = encoded[j - 1]
+        decode_s, decode_reps = _time_op(
+            lambda: code.decode(survivors), op_bytes, budget
+        )
+        assert code.decode(survivors) == stripe
+        mib = decode_reps * op_bytes / (1024 * 1024)
+        decode_rows.append(
+            {
+                "lost": lost,
+                "mib_s": mib / decode_s if decode_s > 0 else float("inf"),
+                "ops_s": decode_reps / decode_s if decode_s > 0 else float("inf"),
+            }
+        )
+    row["decode"] = decode_rows
+
+    # The Section 5.2 delta path: one coded delta applied to one parity.
+    if hasattr(code, "encode_delta") and n > m:
+        new_block = bytes(block_size)
+        delta = code.encode_delta(1, stripe[0], new_block)
+
+        def delta_op():
+            code.apply_delta(1, n, delta, encoded[n - 1])
+
+        delta_s, delta_reps = _time_op(delta_op, block_size, budget)
+        mib = delta_reps * block_size / (1024 * 1024)
+        row["delta_mib_s"] = mib / delta_s if delta_s > 0 else float("inf")
+        row["delta_ops_s"] = delta_reps / delta_s if delta_s > 0 else float("inf")
+    return row
+
+
+def run_bench(
+    pairs: Sequence[Tuple[int, int]] = DEFAULT_PAIRS,
+    block_sizes: Sequence[int] = DEFAULT_BLOCK_SIZES,
+    backends: Sequence[str] = DEFAULT_BACKENDS,
+    kinds: Sequence[str] = ("reed-solomon",),
+    budget_mib: float = 8.0,
+    headline: Optional[Tuple[int, int, int]] = HEADLINE,
+) -> List[Dict[str, object]]:
+    """Run the full (kind × backend × (m, n) × block size) grid."""
+    cells = [
+        (m, n, block_size)
+        for m, n in pairs
+        for block_size in block_sizes
+    ]
+    if headline is not None and headline not in cells:
+        cells.append(headline)
+    results = []
+    for kind in kinds:
+        for m, n, block_size in cells:
+            for backend in backends:
+                results.append(
+                    run_case(
+                        m, n, block_size, backend,
+                        kind=kind, budget_mib=budget_mib,
+                    )
+                )
+    return results
+
+
+def _speedups(results: List[Dict[str, object]]) -> Dict[str, float]:
+    """table-over-masked encode MiB/s per cell with both backends run."""
+    by_cell: Dict[Tuple, Dict[str, float]] = {}
+    for row in results:
+        cell = (row["kind"], row["m"], row["n"], row["block_size"])
+        by_cell.setdefault(cell, {})[row["backend"]] = row["encode_mib_s"]
+    ratios = {}
+    for (kind, m, n, block_size), backends in sorted(by_cell.items()):
+        if "table" in backends and backends.get("masked", 0) > 0:
+            label = f"{kind}({m},{n})x{block_size}"
+            ratios[label] = backends["table"] / backends["masked"]
+    return ratios
+
+
+def headline_speedup(results: List[Dict[str, object]]) -> Optional[float]:
+    """Table-over-masked encode speedup at the :data:`HEADLINE` cell."""
+    m, n, block_size = HEADLINE
+    label = f"reed-solomon({m},{n})x{block_size}"
+    return _speedups(results).get(label)
+
+
+def render_report(results: List[Dict[str, object]]) -> str:
+    """The human-readable erasure-kernel throughput table."""
+    lines = [
+        "Erasure-kernel throughput — encode/decode/delta MiB/s per backend",
+        "(MiB/s counts logical data bytes: m x block_size per stripe op;",
+        " decode(L) reconstructs with L data blocks erased, worst case)",
+        "",
+        f"{'kind':>14s}{'(m,n)':>8s}{'block':>8s}{'backend':>9s}"
+        f"{'enc MiB/s':>11s}{'dec(0)':>9s}{'dec(max)':>10s}{'delta':>9s}",
+    ]
+    for row in results:
+        decode_rows = row["decode"]
+        lines.append(
+            f"{row['kind']:>14s}"
+            + f"({row['m']},{row['n']})".rjust(8)
+            + f"{row['block_size']:>8d}"
+            + f"{row['backend']:>9s}"
+            + f"{row['encode_mib_s']:>11.1f}"
+            + f"{decode_rows[0]['mib_s']:>9.1f}"
+            + f"{decode_rows[-1]['mib_s']:>10.1f}"
+            + (f"{row['delta_mib_s']:>9.1f}" if "delta_mib_s" in row
+               else f"{'—':>9s}")
+        )
+    ratios = _speedups(results)
+    if ratios:
+        lines.append("")
+        lines.append("table-vs-masked encode speedup:")
+        for label, ratio in ratios.items():
+            lines.append(f"  {label:>28s}: {ratio:.1f}x")
+    return "\n".join(lines) + "\n"
+
+
+def to_json(results: List[Dict[str, object]]) -> str:
+    """The machine-readable BENCH_erasure.json payload."""
+    payload = {
+        "benchmark": "erasure",
+        "schema_version": 1,
+        "backends": sorted({row["backend"] for row in results}),
+        "available_backends": available_kernels(),
+        "cases": results,
+        "speedup_table_over_masked": _speedups(results),
+        "headline": {
+            "cell": list(HEADLINE),
+            "encode_speedup_table_over_masked": headline_speedup(results),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -65,6 +65,7 @@ def run_case(
     registers: int = 50,
     seed: int = 0,
     gc_enabled: bool = False,
+    delivery_sweeps: bool = True,
 ) -> Dict[str, object]:
     """Run one simcore case; returns its measured counters.
 
@@ -88,7 +89,9 @@ def run_case(
             store_mode=store_mode,
             persistence=persistence,
             metrics_history_limit=512,
-            network=NetworkConfig(jitter_seed=seed),
+            network=NetworkConfig(
+                jitter_seed=seed, delivery_sweeps=delivery_sweeps
+            ),
             coordinator=CoordinatorConfig(gc_enabled=gc_enabled),
         )
     )
@@ -112,6 +115,7 @@ def run_case(
 
     nodes = cluster.nodes.values()
     events = cluster.env.events_processed
+    encode_mib_s, decode_mib_s = _coding_throughput(cluster, stripes[0])
     return {
         "path": path,
         "m": m,
@@ -120,16 +124,53 @@ def run_case(
         "registers": registers,
         "block_size": block_size,
         "gc_enabled": gc_enabled,
+        "erasure_backend": cluster.code.backend,
         "wall_s": elapsed,
         "ops_per_s": ops / elapsed if elapsed > 0 else float("inf"),
+        "encode_mib_s": encode_mib_s,
+        "decode_mib_s": decode_mib_s,
         "sim_events": events,
         "events_per_s": events / elapsed if elapsed > 0 else float("inf"),
+        "heap_pushes": cluster.env.events_scheduled,
+        "delivery_sweeps": cluster.config.network.delivery_sweeps,
         "bytes_copied": sum(node.stable.bytes_copied for node in nodes),
         "store_count": sum(node.stable.store_count for node in nodes),
         "stable_bytes": sum(node.stable.size_bytes() for node in nodes),
         "messages": cluster.metrics.total_messages,
         "disk_writes": cluster.metrics.total_disk_writes,
     }
+
+
+def _coding_throughput(
+    cluster: FabCluster, stripe: List[bytes], budget_mib: float = 2.0
+) -> Tuple[float, float]:
+    """Encode/decode MiB/s of the cluster's erasure code, measured
+    outside the simulation loop (logical data bytes per stripe op)."""
+    code = cluster.code
+    m, n = cluster.config.m, cluster.config.n
+    op_bytes = m * len(stripe[0])
+    reps = max(3, int(budget_mib * 1024 * 1024) // max(1, op_bytes))
+    encoded = code.encode(stripe)
+    started = time.perf_counter()
+    for _ in range(reps):
+        code.encode(stripe)
+    encode_s = time.perf_counter() - started
+    # Worst-case decode: one data block lost, one parity pressed in
+    # (pass-through when the code has no parity to press in).
+    if n > m:
+        survivors = {i: encoded[i - 1] for i in range(2, m + 1)}
+        survivors[n] = encoded[n - 1]
+    else:
+        survivors = {i: encoded[i - 1] for i in range(1, m + 1)}
+    started = time.perf_counter()
+    for _ in range(reps):
+        code.decode(survivors)
+    decode_s = time.perf_counter() - started
+    mib = reps * op_bytes / (1024 * 1024)
+    return (
+        mib / encode_s if encode_s > 0 else float("inf"),
+        mib / decode_s if decode_s > 0 else float("inf"),
+    )
 
 
 def run_profile(
@@ -176,7 +217,8 @@ def render_report(results: List[Dict[str, object]]) -> str:
         "fast = copy-on-write store + journal persistence)",
         "",
         f"{'(m,n)':>8s}{'ops':>8s}{'path':>6s}{'wall s':>9s}"
-        f"{'ops/s':>10s}{'events/s':>12s}{'MB copied':>11s}{'stores':>10s}",
+        f"{'ops/s':>10s}{'events/s':>12s}{'enc MiB/s':>11s}"
+        f"{'MB copied':>11s}{'stores':>10s}",
     ]
     for row in results:
         lines.append(
@@ -186,6 +228,7 @@ def render_report(results: List[Dict[str, object]]) -> str:
             + f"{row['wall_s']:>9.2f}"
             + f"{row['ops_per_s']:>10.0f}"
             + f"{row['events_per_s']:>12.0f}"
+            + f"{row.get('encode_mib_s', 0.0):>11.1f}"
             + f"{row['bytes_copied'] / 1e6:>11.1f}"
             + f"{row['store_count']:>10d}"
         )

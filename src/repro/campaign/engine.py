@@ -77,6 +77,11 @@ class CampaignConfig:
         scrub_enabled / scrub_interval: run the background
             scrub-and-repair daemon during the campaign, verifying
             checksums brick-by-brick every ``scrub_interval`` sim-time.
+        delivery_sweeps: batch same-(time, destination) message
+            deliveries into per-tick sweeps (the network fast path,
+            default) or schedule one kernel event per message.  The
+            determinism regression test runs the same seed both ways
+            and requires bit-identical counters.
     """
 
     m: int = 3
@@ -107,6 +112,7 @@ class CampaignConfig:
     verify_checksums: bool = True
     scrub_enabled: bool = False
     scrub_interval: float = 20.0
+    delivery_sweeps: bool = True
 
     @property
     def effective_f(self) -> int:
@@ -324,6 +330,7 @@ class _Engine:
                     min_latency=1.0,
                     max_latency=3.0,
                     jitter_seed=config.seed,
+                    delivery_sweeps=config.delivery_sweeps,
                 ),
                 coordinator=CoordinatorConfig(
                     op_timeout=config.op_timeout,

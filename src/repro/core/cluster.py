@@ -52,6 +52,12 @@ class ClusterConfig:
         f: tolerated faults; defaults to the maximum ``floor((n-m)/2)``.
         code_kind: erasure-code implementation (see
             :func:`repro.erasure.registry.make_code`).
+        erasure_backend: GF(2^8) kernel for the coding hot path —
+            ``"auto"`` (default: the table kernel when numpy is
+            available, else the pure-``bytes`` kernel), ``"table"``,
+            ``"masked"`` (the reference implementation), or
+            ``"bytes"``.  All backends are byte-identical; see
+            :mod:`repro.erasure.kernels`.
         network: network behaviour (latency, drops, ...).
         coordinator: protocol knobs (retransmission, grace, GC, ...).
         clock_skews: per-process clock skew in time units (index by
@@ -90,6 +96,7 @@ class ClusterConfig:
     block_size: int = 1024
     f: Optional[int] = None
     code_kind: str = "auto"
+    erasure_backend: str = "auto"
     network: NetworkConfig = field(default_factory=NetworkConfig)
     coordinator: CoordinatorConfig = field(default_factory=CoordinatorConfig)
     clock_skews: Dict[int, float] = field(default_factory=dict)
@@ -131,7 +138,9 @@ class FabCluster:
         self.transport = transport
         self.env = transport.env
         self.network = getattr(transport, "network", None)
-        self.code = make_code(cfg.m, cfg.n, cfg.code_kind)
+        self.code = make_code(
+            cfg.m, cfg.n, cfg.code_kind, backend=cfg.erasure_backend
+        )
         self.quorum_system = MajorityMQuorumSystem(
             cfg.n, cfg.m, cfg.f, enforce_bound=not cfg.allow_unsafe_f
         )

@@ -13,12 +13,16 @@ This subpackage implements the three primitives the protocol relies on —
 
 All codes share the :class:`~repro.erasure.interface.ErasureCode`
 interface.  Use :func:`~repro.erasure.registry.make_code` to construct a
-suitable code from ``(m, n)``.
+suitable code from ``(m, n)``; its ``backend=`` parameter selects the
+GF(2^8) bulk-arithmetic kernel (:mod:`repro.erasure.kernels`) — the
+table-gather, masked-reference, or pure-``bytes`` implementation, all
+byte-identical.
 """
 
 from .cauchy import CauchyReedSolomonCode
 from .gf256 import GF256
 from .interface import ErasureCode
+from .kernels import available_kernels, get_kernel, register_kernel
 from .parity import SingleParityCode
 from .reed_solomon import ReedSolomonCode
 from .registry import available_codes, make_code
@@ -33,4 +37,7 @@ __all__ = [
     "ReplicationCode",
     "make_code",
     "available_codes",
+    "available_kernels",
+    "get_kernel",
+    "register_kernel",
 ]

@@ -14,6 +14,8 @@ Registered in the factory as ``"cauchy"``.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 
 from ..errors import CodingError
@@ -32,7 +34,7 @@ class CauchyReedSolomonCode(ReedSolomonCode):
     generator construction differs.
     """
 
-    def __init__(self, m: int, n: int) -> None:
+    def __init__(self, m: int, n: int, backend: str = "auto") -> None:
         # Skip ReedSolomonCode.__init__'s Vandermonde construction but
         # run the grandparent's validation.
         if n > GF256.ORDER:
@@ -42,10 +44,10 @@ class CauchyReedSolomonCode(ReedSolomonCode):
         k = n - m
         if k + m > GF256.ORDER:
             raise CodingError(f"Cauchy construction needs n <= 256, got {n}")
-        super(ReedSolomonCode, self).__init__(m, n)
+        super(ReedSolomonCode, self).__init__(m, n, backend)
         generator = np.zeros((n, m), dtype=np.uint8)
         generator[:m, :] = identity(m)
         if k:
             generator[m:, :] = cauchy(k, m)
         self._generator = generator
-        self._decode_cache = {}
+        self._decode_cache = OrderedDict()

@@ -47,6 +47,21 @@ def _build_tables():
 
 _EXP, _LOG = _build_tables()
 
+#: Lazily built full 256x256 multiplication table (64 KiB) shared by
+#: the table kernel and any caller that wants gather-based products.
+_MUL_TABLE = None
+
+
+def _mul_table() -> np.ndarray:
+    """The full multiplication table ``T[a, b] = a * b`` (built once)."""
+    global _MUL_TABLE
+    if _MUL_TABLE is None:
+        table = _EXP[_LOG[:, None] + _LOG[None, :]]
+        table[0, :] = 0  # _LOG[0] is a placeholder; zero annihilates
+        table[:, 0] = 0
+        _MUL_TABLE = np.ascontiguousarray(table)
+    return _MUL_TABLE
+
 
 class GF256:
     """The field GF(2^8): scalar and vectorized byte arithmetic.
@@ -166,6 +181,16 @@ class GF256:
             for c in range(cols):
                 GF256.addmul_bytes(accum, int(row[c]), data[c])
         return out
+
+    @staticmethod
+    def mul_table() -> np.ndarray:
+        """The full 256x256 multiplication table ``T[a, b] = a * b``.
+
+        64 KiB, built on first use and shared process-wide.  This is
+        what turns ``scalar * vec`` into a single gather (see
+        :class:`repro.erasure.kernels.TableKernel`).
+        """
+        return _mul_table()
 
     @staticmethod
     def elements() -> List[int]:

@@ -16,7 +16,7 @@ from typing import Sequence
 import numpy as np
 
 from ..errors import CodingError
-from .gf256 import GF256
+from .gf256 import _EXP, _GROUP_ORDER, _LOG, GF256
 
 __all__ = [
     "identity",
@@ -46,9 +46,14 @@ def vandermonde(rows: int, cols: int) -> np.ndarray:
             f"Vandermonde needs distinct points; rows={rows} > 256"
         )
     matrix = np.zeros((rows, cols), dtype=np.uint8)
-    for i in range(rows):
-        for j in range(cols):
-            matrix[i, j] = GF256.pow(i, j) if i else (1 if j == 0 else 0)
+    if cols:
+        matrix[:, 0] = 1  # i^0 = 1 for every i (including 0^0 by convention)
+    if rows > 1 and cols > 1:
+        # i^j = exp[(log[i] * j) mod 255] for i >= 1: one outer product
+        # and one gather instead of a rows x cols Python loop.
+        logs = _LOG[np.arange(1, rows)]
+        exponents = np.arange(1, cols, dtype=np.int64)
+        matrix[1:, 1:] = _EXP[(logs[:, None] * exponents[None, :]) % _GROUP_ORDER]
     return matrix
 
 
@@ -63,11 +68,11 @@ def cauchy(rows: int, cols: int) -> np.ndarray:
         raise CodingError(
             f"Cauchy construction needs rows+cols <= 256, got {rows + cols}"
         )
-    matrix = np.zeros((rows, cols), dtype=np.uint8)
-    for i in range(rows):
-        for j in range(cols):
-            matrix[i, j] = GF256.inv(GF256.add(i, rows + j))
-    return matrix
+    # x_i + y_j over GF(2^8) is XOR; inversion is a table gather:
+    # inv(v) = exp[(255 - log[v]) mod 255].  The points are distinct by
+    # construction, so no sum is ever zero.
+    sums = np.arange(rows)[:, None] ^ np.arange(rows, rows + cols)[None, :]
+    return _EXP[(_GROUP_ORDER - _LOG[sums]) % _GROUP_ORDER]
 
 
 def matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:

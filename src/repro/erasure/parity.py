@@ -10,8 +10,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-import numpy as np
-
 from ..errors import CodingError
 from ..types import Block
 from .interface import ErasureCode
@@ -19,19 +17,16 @@ from .interface import ErasureCode
 __all__ = ["SingleParityCode"]
 
 
-def _xor_all(blocks: Sequence[Block]) -> bytes:
-    arrays = [np.frombuffer(block, dtype=np.uint8) for block in blocks]
-    accum = arrays[0].copy()
-    for array in arrays[1:]:
-        np.bitwise_xor(accum, array, out=accum)
-    return accum.tobytes()
-
-
 class SingleParityCode(ErasureCode):
-    """XOR parity code with ``n = m + 1`` (RAID-5 within a stripe)."""
+    """XOR parity code with ``n = m + 1`` (RAID-5 within a stripe).
 
-    def __init__(self, m: int, n: int) -> None:
-        super().__init__(m, n)
+    Bulk XOR runs through the kernel layer, so the parity code follows
+    the same ``backend=`` knob as the field codes (and stays functional
+    without numpy under the ``"bytes"`` kernel).
+    """
+
+    def __init__(self, m: int, n: int, backend: str = "auto") -> None:
+        super().__init__(m, n, backend)
         if n != m + 1:
             raise CodingError(
                 f"SingleParityCode requires n = m + 1, got m={m} n={n}"
@@ -40,7 +35,7 @@ class SingleParityCode(ErasureCode):
     def encode(self, data_blocks: Sequence[Block]) -> List[Block]:
         self._check_encode_args(data_blocks)
         encoded = [bytes(block) for block in data_blocks]
-        encoded.append(_xor_all(data_blocks))
+        encoded.append(self._kernel.xor_all(data_blocks))
         return encoded
 
     def decode(self, blocks: Dict[int, Block]) -> List[Block]:
@@ -62,7 +57,7 @@ class SingleParityCode(ErasureCode):
         missing_index = missing.pop()
         survivors = [blocks[i] for i in sorted(data_indices - {missing_index})]
         survivors.append(blocks[self.n])
-        reconstructed = _xor_all(survivors)
+        reconstructed = self._kernel.xor_all(survivors)
         data = []
         for i in range(1, self.m + 1):
             data.append(reconstructed if i == missing_index else bytes(blocks[i]))
@@ -72,4 +67,4 @@ class SingleParityCode(ErasureCode):
         self, i: int, j: int, old_data: Block, new_data: Block, old_parity: Block
     ) -> Block:
         self._check_modify_args(i, j, old_data, new_data, old_parity)
-        return _xor_all([old_data, new_data, old_parity])
+        return self._kernel.xor_all([old_data, new_data, old_parity])

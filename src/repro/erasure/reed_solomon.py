@@ -9,10 +9,16 @@ matching the surviving blocks, inverts that square matrix, and multiplies.
 Because the code is linear, the paper's ``modify`` primitive is a
 one-coefficient update: if data block ``i`` changes by ``delta = b_i ^
 b'_i``, parity block ``j`` changes by ``G[j-1, i-1] * delta``.
+
+All block-size arithmetic runs through the pluggable kernel layer
+(:mod:`repro.erasure.kernels`): the coder holds coefficient matrices and
+hands blocks to ``kernel.matmul`` / ``kernel.addmul``, so swapping the
+``backend=`` changes throughput but never a single output byte.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, List, Sequence
 
 import numpy as np
@@ -32,15 +38,22 @@ class ReedSolomonCode(ErasureCode):
     The generator matrix is derived from a Vandermonde matrix (see
     :func:`repro.erasure.matrix.systematic_from_vandermonde`), following
     Plank's construction.  Decoding matrices are cached per survivor set
-    since steady-state workloads decode from few distinct patterns.
+    since steady-state workloads decode from few distinct patterns; the
+    cache is a small LRU so campaign-scale survivor churn (every crash
+    pattern is a new set) cannot grow it without bound.
     """
 
-    def __init__(self, m: int, n: int) -> None:
-        super().__init__(m, n)
+    #: Max cached decode matrices.  Steady state uses a handful of
+    #: survivor patterns; fault campaigns cycle through many, and each
+    #: entry is an m x m matrix that would otherwise live forever.
+    DECODE_CACHE_SIZE = 64
+
+    def __init__(self, m: int, n: int, backend: str = "auto") -> None:
+        super().__init__(m, n, backend)
         if n > GF256.ORDER:
             raise CodingError(f"Reed-Solomon over GF(2^8) requires n <= 256, got {n}")
         self._generator = systematic_from_vandermonde(m, n)
-        self._decode_cache: Dict[frozenset, np.ndarray] = {}
+        self._decode_cache: "OrderedDict[frozenset, np.ndarray]" = OrderedDict()
 
     @property
     def generator_matrix(self) -> np.ndarray:
@@ -57,36 +70,36 @@ class ReedSolomonCode(ErasureCode):
         return int(self._generator[j - 1, i - 1])
 
     def encode(self, data_blocks: Sequence[Block]) -> List[Block]:
-        size = self._check_encode_args(data_blocks)
-        data = np.frombuffer(b"".join(data_blocks), dtype=np.uint8)
-        data = data.reshape(self.m, size)
-        parity_rows = self._generator[self.m :, :]
-        parity = GF256.matmul(parity_rows, data)
+        self._check_encode_args(data_blocks)
         encoded = [bytes(block) for block in data_blocks]
-        encoded.extend(parity[row].tobytes() for row in range(self.parity_count))
+        if self.parity_count:
+            parity_rows = self._generator[self.m :, :]
+            encoded.extend(self._kernel.matmul(parity_rows, encoded))
         return encoded
 
     def decode(self, blocks: Dict[int, Block]) -> List[Block]:
-        size = self._check_decode_args(blocks)
+        self._check_decode_args(blocks)
         indices = sorted(blocks)[: self.m]
         # Fast path: all m data blocks survived.
         if indices == list(range(1, self.m + 1)):
             return [bytes(blocks[i]) for i in indices]
         decode_matrix = self._decode_matrix(frozenset(indices))
-        stacked = np.frombuffer(
-            b"".join(blocks[i] for i in indices), dtype=np.uint8
-        ).reshape(self.m, size)
-        data = GF256.matmul(decode_matrix, stacked)
-        return [data[row].tobytes() for row in range(self.m)]
+        return self._kernel.matmul(
+            decode_matrix, [blocks[i] for i in indices]
+        )
 
     def _decode_matrix(self, survivor_set: frozenset) -> np.ndarray:
-        cached = self._decode_cache.get(survivor_set)
+        cache = self._decode_cache
+        cached = cache.get(survivor_set)
         if cached is not None:
+            cache.move_to_end(survivor_set)
             return cached
         rows = [index - 1 for index in sorted(survivor_set)]
         square = submatrix(self._generator, rows)
         decode_matrix = invert(square)
-        self._decode_cache[survivor_set] = decode_matrix
+        cache[survivor_set] = decode_matrix
+        if len(cache) > self.DECODE_CACHE_SIZE:
+            cache.popitem(last=False)
         return decode_matrix
 
     def modify(
@@ -94,12 +107,8 @@ class ReedSolomonCode(ErasureCode):
     ) -> Block:
         self._check_modify_args(i, j, old_data, new_data, old_parity)
         coeff = int(self._generator[j - 1, i - 1])
-        old = np.frombuffer(old_data, dtype=np.uint8)
-        new = np.frombuffer(new_data, dtype=np.uint8)
-        parity = np.frombuffer(old_parity, dtype=np.uint8).copy()
-        delta = np.bitwise_xor(old, new)
-        GF256.addmul_bytes(parity, coeff, delta)
-        return parity.tobytes()
+        delta = self._kernel.xor(old_data, new_data)
+        return self._kernel.addmul(old_parity, coeff, delta)
 
     def encode_delta(self, i: int, old_data: Block, new_data: Block) -> Block:
         """The Section 5.2 optimization: one coded delta for all parities.
@@ -113,9 +122,7 @@ class ReedSolomonCode(ErasureCode):
             raise CodingError(f"data index i={i} out of range 1..{self.m}")
         if len(old_data) != len(new_data):
             raise CodingError("delta requires equal-size blocks")
-        old = np.frombuffer(old_data, dtype=np.uint8)
-        new = np.frombuffer(new_data, dtype=np.uint8)
-        return np.bitwise_xor(old, new).tobytes()
+        return self._kernel.xor(old_data, new_data)
 
     def apply_delta(self, i: int, j: int, delta: Block, old_parity: Block) -> Block:
         """Apply a coded delta from :meth:`encode_delta` to parity ``j``."""
@@ -124,7 +131,4 @@ class ReedSolomonCode(ErasureCode):
                 f"parity index j={j} out of range {self.m + 1}..{self.n}"
             )
         coeff = int(self._generator[j - 1, i - 1])
-        parity = np.frombuffer(old_parity, dtype=np.uint8).copy()
-        delta_arr = np.frombuffer(delta, dtype=np.uint8)
-        GF256.addmul_bytes(parity, coeff, delta_arr)
-        return parity.tobytes()
+        return self._kernel.addmul(old_parity, coeff, delta)

@@ -363,6 +363,17 @@ class Environment:
         """Kernel events processed so far — the simcore bench's events/sec."""
         return self._events_processed
 
+    @property
+    def events_scheduled(self) -> int:
+        """Heap pushes so far.
+
+        Every schedule is one O(log q) push, so this is the kernel's
+        heap-traffic axis: the network's batched delivery sweeps show up
+        here as fewer pushes per fan-out round (see
+        ``NetworkConfig.delivery_sweeps``).
+        """
+        return self._seq
+
     # -- event constructors --------------------------------------------
 
     def event(self) -> Event:

@@ -38,6 +38,14 @@ class NetworkConfig:
             delivered twice.
         jitter_seed: seed for the network's private RNG, making runs
             reproducible.
+        delivery_sweeps: batch all messages due at the same (time,
+            destination) into one kernel heap entry (a *delivery
+            sweep*) instead of one per message.  On quorum fan-in —
+            n replies converging on a coordinator in the same tick —
+            this collapses n heap pushes/pops into one.  Per-batch
+            delivery order is the per-destination send order, so any
+            run remains deterministic; ``False`` restores the seed's
+            one-event-per-message scheduling.
     """
 
     min_latency: float = 1.0
@@ -45,6 +53,7 @@ class NetworkConfig:
     drop_probability: float = 0.0
     duplicate_probability: float = 0.0
     jitter_seed: int = 0
+    delivery_sweeps: bool = True
 
     def __post_init__(self) -> None:
         if self.min_latency < 0 or self.max_latency < self.min_latency:
@@ -112,6 +121,7 @@ class _Delivery(Event):
     Replaces the seed's per-message ``Timeout`` + closure pair with a
     single slotted event whose callback is the network's bound
     ``_on_delivery`` — one allocation and one heap push per message.
+    Used when ``delivery_sweeps`` is off.
     """
 
     __slots__ = ("message",)
@@ -122,6 +132,29 @@ class _Delivery(Event):
         self._value = None
         network.env._schedule(self, delay)
         self.callbacks.append(network._on_delivery)
+
+
+class _DeliverySweep(Event):
+    """All messages bound for one destination at one instant.
+
+    One heap entry per (due-time, destination) batch: the first message
+    creates and schedules the sweep, later same-key sends just append.
+    On a quorum round's reply fan-in this turns n pushes + n pops into
+    one of each, while keeping per-destination delivery order exactly
+    the send order.
+    """
+
+    __slots__ = ("key", "messages")
+
+    def __init__(
+        self, network: "Network", key, delay: float
+    ) -> None:
+        super().__init__(network.env)
+        self.key = key
+        self.messages: List[Message] = []
+        self._value = None
+        network.env._schedule(self, delay)
+        self.callbacks.append(network._on_sweep)
 
 
 class Network:
@@ -143,6 +176,8 @@ class Network:
         self.config = config or NetworkConfig()
         self.metrics = metrics or Metrics()
         self._rng = random.Random(self.config.jitter_seed)
+        #: Open (due-time, dst) sweep batches; entries leave on firing.
+        self._sweeps: Dict[tuple, _DeliverySweep] = {}
         self._endpoints: Dict[ProcessId, Callable[[Message], None]] = {}
         self._partitions: Set[frozenset] = set()
         self._down: Set[ProcessId] = set()
@@ -265,10 +300,28 @@ class Network:
         latency = self._rng.uniform(
             self.config.min_latency, self.config.max_latency
         )
-        _Delivery(self, message, latency)
+        if not self.config.delivery_sweeps:
+            _Delivery(self, message, latency)
+            return
+        # The kernel schedules at now + delay with the same float
+        # arithmetic, so messages sharing (due, dst) land in one sweep.
+        key = (self.env.now + latency, message.dst)
+        sweep = self._sweeps.get(key)
+        if sweep is None:
+            sweep = _DeliverySweep(self, key, latency)
+            self._sweeps[key] = sweep
+        sweep.messages.append(message)
 
     def _on_delivery(self, event: Event) -> None:
         self._deliver(event.message)
+
+    def _on_sweep(self, event: Event) -> None:
+        # Detach before delivering: a handler may send again with zero
+        # latency, which must open a fresh sweep, not append to this
+        # already-firing one.
+        self._sweeps.pop(event.key, None)
+        for message in event.messages:
+            self._deliver(message)
 
     def _deliver(self, message: Message) -> None:
         # Re-check state at delivery time: the destination may have

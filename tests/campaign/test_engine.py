@@ -29,6 +29,21 @@ class TestCorrectConfig:
         assert json.dumps(first.to_dict()) == json.dumps(second.to_dict())
         assert first.schedule.to_dict() == second.schedule.to_dict()
 
+    def test_deterministic_across_delivery_sweeps(self):
+        """Batched delivery sweeps are a pure scheduling optimization:
+        every counter of a fixed-seed campaign is bit-identical with
+        sweeps on and off."""
+        for seed in range(3):
+            swept = run_campaign(
+                replace(QUICK, seed=seed, delivery_sweeps=True)
+            )
+            unswept = run_campaign(
+                replace(QUICK, seed=seed, delivery_sweeps=False)
+            )
+            assert json.dumps(swept.to_dict()) == json.dumps(
+                unswept.to_dict()
+            ), f"sweeps changed campaign outcome at seed {seed}"
+
     def test_campaign_exercises_faults_and_recoveries(self):
         result = run_campaign(replace(QUICK, seed=0))
         assert result.schedule_events > 0

@@ -1,0 +1,214 @@
+"""GF(2^8) kernel backends: registry, primitives, cross-backend identity.
+
+The kernels are only allowed to differ in speed — every backend must be
+bit-for-bit identical to the masked reference on every operation of
+every registered coder.  The property tests here drive random
+encode/decode/modify/delta round-trips through all three backends and
+compare outputs byte for byte.
+"""
+
+import random
+
+import pytest
+
+from repro.erasure import make_code
+from repro.erasure.interface import ErasureCode
+from repro.erasure.kernels import (
+    BytesKernel,
+    Kernel,
+    MaskedKernel,
+    TableKernel,
+    available_kernels,
+    get_kernel,
+    register_kernel,
+)
+from repro.erasure import kernels as kernels_module
+from repro.errors import CodingError, ConfigurationError
+
+BACKENDS = ["masked", "table", "bytes"]
+
+#: Every registered coder kind at a representative geometry.
+CODER_GEOMETRIES = [
+    ("reed-solomon", 3, 6),
+    ("cauchy", 3, 6),
+    ("parity", 3, 4),
+    ("replication", 1, 3),
+]
+
+
+class TestRegistry:
+    def test_available_kernels(self):
+        names = available_kernels()
+        for name in ("auto", "table", "masked", "bytes"):
+            assert name in names
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_kernel("simd")
+
+    def test_instances_are_shared(self):
+        assert get_kernel("table") is get_kernel("table")
+        assert get_kernel("bytes") is get_kernel("bytes")
+
+    def test_auto_prefers_table_with_numpy(self):
+        assert get_kernel("auto").name == "table"
+
+    def test_auto_falls_back_to_bytes_without_numpy(self, monkeypatch):
+        monkeypatch.setattr(kernels_module, "np", None)
+        assert get_kernel("auto").name == "bytes"
+
+    def test_numpy_kernels_refuse_without_numpy(self, monkeypatch):
+        monkeypatch.setattr(kernels_module, "np", None)
+        with pytest.raises(ConfigurationError):
+            TableKernel()
+        with pytest.raises(ConfigurationError):
+            MaskedKernel()
+
+    def test_register_custom_kernel(self):
+        class MyKernel(BytesKernel):
+            name = "my-kernel"
+
+        register_kernel("my-kernel", MyKernel)
+        assert isinstance(get_kernel("my-kernel"), MyKernel)
+        assert "my-kernel" in available_kernels()
+
+    def test_register_rejects_non_kernel(self):
+        with pytest.raises(ConfigurationError):
+            register_kernel("bogus", dict)
+
+    def test_code_reports_resolved_backend(self):
+        assert make_code(3, 6, backend="auto").backend == "table"
+        assert make_code(3, 6, backend="bytes").backend == "bytes"
+
+    def test_code_rejects_unknown_backend(self):
+        with pytest.raises(ConfigurationError):
+            make_code(3, 6, backend="simd")
+
+
+class TestKernelPrimitives:
+    """matmul/scale/addmul/xor agree across backends on random inputs."""
+
+    def _random_blocks(self, rng, count, width):
+        return [
+            bytes(rng.randrange(256) for _ in range(width))
+            for _ in range(count)
+        ]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_matmul_matches_masked(self, backend):
+        rng = random.Random(7)
+        reference = get_kernel("masked")
+        kernel = get_kernel(backend)
+        for _ in range(15):
+            rows = rng.randrange(0, 5)
+            cols = rng.randrange(1, 5)
+            width = rng.choice([1, 7, 64, 257])
+            coeffs = [
+                [rng.randrange(256) for _ in range(cols)]
+                for _ in range(rows)
+            ]
+            blocks = self._random_blocks(rng, cols, width)
+            assert kernel.matmul(coeffs, blocks) == reference.matmul(
+                coeffs, blocks
+            )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_scale_addmul_xor_match_masked(self, backend):
+        rng = random.Random(11)
+        reference = get_kernel("masked")
+        kernel = get_kernel(backend)
+        for scalar in [0, 1, 2, 255] + [rng.randrange(256) for _ in range(8)]:
+            a, b = self._random_blocks(rng, 2, 113)
+            assert kernel.scale(scalar, a) == reference.scale(scalar, a)
+            assert kernel.addmul(a, scalar, b) == reference.addmul(
+                a, scalar, b
+            )
+            assert kernel.xor(a, b) == reference.xor(a, b)
+        blocks = self._random_blocks(rng, 5, 64)
+        assert kernel.xor_all(blocks) == reference.xor_all(blocks)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_matmul_dimension_mismatch(self, backend):
+        kernel = get_kernel(backend)
+        with pytest.raises(CodingError):
+            kernel.matmul([[1, 2]], [b"xy"])
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_matmul_zero_rows(self, backend):
+        kernel = get_kernel(backend)
+        assert kernel.matmul([], [b"xy", b"ab"]) == []
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_matmul_zero_row_output_is_zero(self, backend):
+        kernel = get_kernel(backend)
+        assert kernel.matmul([[0, 0]], [b"xy", b"ab"]) == [b"\x00\x00"]
+
+
+class TestCrossBackendCoders:
+    """Every registered coder is byte-identical across all backends."""
+
+    def _stripe(self, rng, m, width):
+        return [
+            bytes(rng.randrange(256) for _ in range(width))
+            for _ in range(m)
+        ]
+
+    @pytest.mark.parametrize("kind,m,n", CODER_GEOMETRIES)
+    def test_encode_decode_identical(self, kind, m, n):
+        rng = random.Random(sum(kind.encode()))
+        codes = {b: make_code(m, n, kind, backend=b) for b in BACKENDS}
+        for trial in range(5):
+            width = rng.choice([1, 16, 129])
+            stripe = self._stripe(rng, m, width)
+            encodings = {
+                b: code.encode(stripe) for b, code in codes.items()
+            }
+            reference = encodings["masked"]
+            assert all(enc == reference for enc in encodings.values())
+            survivors = rng.sample(range(1, n + 1), m)
+            blocks = {i: reference[i - 1] for i in survivors}
+            for backend, code in codes.items():
+                assert code.decode(blocks) == stripe, backend
+
+    @pytest.mark.parametrize("kind,m,n", CODER_GEOMETRIES)
+    def test_modify_and_delta_identical(self, kind, m, n):
+        rng = random.Random(1 + sum(kind.encode()))
+        codes = {b: make_code(m, n, kind, backend=b) for b in BACKENDS}
+        width = 33
+        stripe = self._stripe(rng, m, width)
+        encoded = codes["masked"].encode(stripe)
+        new_block = bytes(rng.randrange(256) for _ in range(width))
+        index = rng.randrange(1, m + 1)
+        for j in range(m + 1, n + 1):
+            modified = {
+                b: code.modify(
+                    index, j, stripe[index - 1], new_block, encoded[j - 1]
+                )
+                for b, code in codes.items()
+            }
+            reference = modified["masked"]
+            assert all(out == reference for out in modified.values())
+            deltas = {
+                b: code.encode_delta(index, stripe[index - 1], new_block)
+                for b, code in codes.items()
+                if hasattr(code, "encode_delta")
+            }
+            for backend, delta in deltas.items():
+                applied = codes[backend].apply_delta(
+                    index, j, delta, encoded[j - 1]
+                )
+                assert applied == reference, backend
+
+    def test_bytes_backend_works_without_numpy(self, monkeypatch):
+        """The pure-bytes coder path must never touch numpy."""
+        monkeypatch.setattr(kernels_module, "np", None)
+        kernel = get_kernel("bytes")
+        assert isinstance(kernel, BytesKernel)
+        blocks = [b"\x01\x02\x03", b"\x04\x05\x06"]
+        out = kernel.matmul([[3, 7], [1, 1]], blocks)
+        assert len(out) == 2 and len(out[0]) == 3
+
+    def test_kernel_base_class_contract(self):
+        assert issubclass(TableKernel, Kernel)
+        assert issubclass(MaskedKernel, Kernel)
+        assert issubclass(BytesKernel, Kernel)

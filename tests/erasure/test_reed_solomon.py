@@ -111,6 +111,43 @@ class TestEncodeDecode:
         code.decode(blocks)
         assert len(code._decode_cache) == 1
 
+    def test_decode_cache_is_lru_bounded(self):
+        import random
+
+        code = ReedSolomonCode(4, 12)
+        code.DECODE_CACHE_SIZE = 8
+        stripe = make_stripe(4, 4)
+        encoded = code.encode(stripe)
+        all_data = frozenset(range(1, 5))  # pass-through, never cached
+        seen = []
+        rng = random.Random(5)
+        while len(seen) < 20:
+            survivors = frozenset(rng.sample(range(1, 13), 4))
+            if survivors in seen or survivors == all_data:
+                continue
+            seen.append(survivors)
+            blocks = {i: encoded[i - 1] for i in survivors}
+            assert code.decode(blocks) == stripe
+            assert len(code._decode_cache) <= 8
+        # The most recent distinct survivor sets are the ones retained.
+        assert set(code._decode_cache) == set(seen[-8:])
+
+    def test_decode_cache_lru_refreshes_on_hit(self):
+        code = ReedSolomonCode(2, 6)
+        code.DECODE_CACHE_SIZE = 2
+        stripe = make_stripe(2, 4)
+        encoded = code.encode(stripe)
+        first = {1: encoded[0], 3: encoded[2]}
+        second = {2: encoded[1], 4: encoded[3]}
+        third = {5: encoded[4], 6: encoded[5]}
+        code.decode(first)
+        code.decode(second)
+        code.decode(first)  # refresh: first is now most recent
+        code.decode(third)  # evicts second, not first
+        assert set(code._decode_cache) == {
+            frozenset({1, 3}), frozenset({5, 6})
+        }
+
     @settings(deadline=None, max_examples=25)
     @given(
         st.integers(min_value=1, max_value=6),

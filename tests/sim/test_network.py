@@ -213,3 +213,121 @@ class TestFailuresAndPartitions:
         network.partition({1}, {2})
         assert network.is_partitioned(1, 2)
         assert network.is_partitioned(2, 1)
+
+
+class TestDeliverySweeps:
+    """Batched per-(time, destination) delivery sweeps."""
+
+    def test_fan_in_batches_into_one_heap_entry(self):
+        env, network = make_net(min_latency=1.0, max_latency=1.0)
+        received = []
+        network.register(1, received.append)
+        before = env.events_scheduled
+        for src in range(2, 7):
+            network.send(src, 1, f"reply-{src}")
+        # Five same-tick messages to one destination: one heap push.
+        assert env.events_scheduled - before == 1
+        env.run()
+        assert [m.payload for m in received] == [
+            f"reply-{src}" for src in range(2, 7)
+        ]
+
+    def test_sweeps_off_pushes_per_message(self):
+        env, network = make_net(
+            min_latency=1.0, max_latency=1.0, delivery_sweeps=False
+        )
+        received = []
+        network.register(1, received.append)
+        before = env.events_scheduled
+        for src in range(2, 7):
+            network.send(src, 1, f"reply-{src}")
+        assert env.events_scheduled - before == 5
+        env.run()
+        assert [m.payload for m in received] == [
+            f"reply-{src}" for src in range(2, 7)
+        ]
+
+    def test_batch_order_is_send_order(self):
+        env, network = make_net(min_latency=2.0, max_latency=2.0)
+        received = []
+        network.register(9, received.append)
+        for tag in ("a", "b", "c", "a2"):
+            network.send(1, 9, tag)
+        env.run()
+        assert [m.payload for m in received] == ["a", "b", "c", "a2"]
+
+    def test_distinct_destinations_get_distinct_sweeps(self):
+        env, network = make_net(min_latency=1.0, max_latency=1.0)
+        network.register(1, lambda m: None)
+        network.register(2, lambda m: None)
+        before = env.events_scheduled
+        network.send(3, 1, "x")
+        network.send(3, 2, "y")
+        network.send(4, 1, "z")  # joins destination 1's open sweep
+        assert env.events_scheduled - before == 2
+
+    def test_distinct_times_get_distinct_sweeps(self):
+        env, network = make_net(min_latency=1.0, max_latency=1.0)
+        times = []
+        network.register(1, lambda m: times.append(env.now))
+        network.send(2, 1, "early")
+        env.run(until=0.5)  # now = 0.5: the next send lands at 1.5
+        network.send(2, 1, "late")
+        env.run()
+        assert times == [1.0, 1.5]
+
+    def test_resend_during_sweep_opens_fresh_sweep(self):
+        """A handler sending with zero latency must not append to the
+        sweep that is currently firing (it would never be delivered)."""
+        env, network = make_net(min_latency=0.0, max_latency=0.0)
+        received = []
+
+        def echo_once(message):
+            received.append(message.payload)
+            if message.payload == "ping":
+                network.send(1, 1, "pong")
+
+        network.register(1, echo_once)
+        network.send(1, 1, "ping")
+        env.run()
+        assert received == ["ping", "pong"]
+
+    def test_crash_between_batched_messages_still_rechecked(self):
+        """Down/partition state is evaluated per message at delivery."""
+        env, network = make_net(min_latency=3.0, max_latency=3.0)
+        received = []
+        network.register(2, received.append)
+        network.send(1, 2, "x")
+        network.send(1, 2, "y")
+        env.run(until=1)
+        network.set_down(2, True)
+        env.run()
+        assert received == []
+
+    def test_sweep_state_drains_after_firing(self):
+        env, network = make_net(min_latency=1.0, max_latency=1.0)
+        network.register(1, lambda m: None)
+        network.send(2, 1, "x")
+        assert len(network._sweeps) == 1
+        env.run()
+        assert network._sweeps == {}
+
+    def test_sweeps_match_unswept_outcomes(self):
+        """Same seed, same sends: identical delivery schedule either way."""
+        outcomes = []
+        for sweeps in (True, False):
+            env, network = make_net(
+                min_latency=1.0, max_latency=4.0, jitter_seed=13,
+                drop_probability=0.1, delivery_sweeps=sweeps,
+            )
+            log = []
+            for pid in (1, 2, 3):
+                network.register(
+                    pid,
+                    lambda m, pid=pid: log.append((env.now, pid, m.payload)),
+                )
+            for i in range(40):
+                network.send(1 + i % 3, 1 + (i + 1) % 3, f"m{i}")
+            env.run()
+            outcomes.append(log)
+        assert outcomes[0] == outcomes[1]
