@@ -1,10 +1,10 @@
 """Scrub-daemon experiments: detection latency, repair throughput, overhead.
 
-Three questions about the background scrubber, each answered by a
+Four questions about the background scrubber, each answered by a
 seeded, repeatable run:
 
 * **Detection latency** — after a silent bit flip lands in a *cold*
-  register (one no client touches), how long until the sweeping daemon
+  register (one no client touches), how long until the scanning daemon
   finds it?  Client I/O cannot help there; the scrubber is the only
   thing standing between latent damage and eventual multi-fragment
   loss.
@@ -15,6 +15,13 @@ seeded, repeatable run:
   workload?  The daemon verifies checksums out-of-band (no protocol
   messages), so the answer should be "almost nothing"; the bench
   asserts < 15% ops/s.
+* **Sampling economics** (:func:`run_sampling_sweep`) — at fleet
+  scale, what detection confidence and latency does a sampled scan
+  budget buy compared to the exhaustive sweep?  The sweep scans every
+  (register, brick) pair per cycle — O(fleet); the sampler's budget
+  depends only on the target confidence and assumed corruption rate,
+  so the curves show ≥95% per-cycle confidence at a small fraction of
+  the full-sweep scan cost once registers number in the thousands.
 
 The workload deliberately touches only *half* the registers; corruption
 is injected across *all* of them.  Damage in the active half is usually
@@ -34,14 +41,19 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..core.cluster import ClusterConfig, FabCluster
 from ..core.coordinator import CoordinatorConfig
 from ..scrub.daemon import ScrubConfig, ScrubDaemon
+from ..scrub.sampler import PairSampler, detection_confidence, required_samples
 from ..sim.failures import CorruptionInjector
 
 __all__ = [
     "ScrubRunResult",
     "ScrubExperiment",
+    "SamplingCurvePoint",
+    "SamplingSweepResult",
     "run_scrub_run",
     "run_scrub_experiment",
+    "run_sampling_sweep",
     "render_report",
+    "render_sampling_report",
     "to_json",
 ]
 
@@ -54,6 +66,7 @@ class ScrubRunResult:
     corrupt_rate: float
     scrub_enabled: bool
     seed: int
+    scrub_mode: str = "sweep"
     sim_time: float = 0.0
     wall_seconds: float = 0.0
     #: CPU seconds spent in the op loop — unlike wall time, immune to
@@ -90,6 +103,7 @@ class ScrubRunResult:
             "ops": self.ops,
             "corrupt_rate": self.corrupt_rate,
             "scrub_enabled": self.scrub_enabled,
+            "scrub_mode": self.scrub_mode,
             "seed": self.seed,
             "sim_time": self.sim_time,
             "wall_seconds": round(self.wall_seconds, 4),
@@ -123,6 +137,7 @@ def run_scrub_run(
     bricks_per_step: int = 2,
     think_time: float = 2.0,
     drain: float = 400.0,
+    scrub_mode: str = "sweep",
 ) -> ScrubRunResult:
     """One mixed read/write workload with corruption and (maybe) scrub.
 
@@ -130,10 +145,16 @@ def run_scrub_run(
     probability, one bit is flipped in a random (brick, register) pair
     — over *all* registers, while the clients only ever touch the first
     half.  Detection latency is measured for the scrubber's finds.
+
+    ``scrub_mode`` selects the daemon's scheduler.  At this run's small
+    register counts the sampled scheduler's confidence-derived budget
+    clamps to the full pair space (sampling only pays at fleet scale —
+    that economics question is :func:`run_sampling_sweep`'s), so the
+    mode here mainly exercises the sampled scheduler end to end.
     """
     result = ScrubRunResult(
         ops=ops, corrupt_rate=corrupt_rate,
-        scrub_enabled=scrub_enabled, seed=seed,
+        scrub_enabled=scrub_enabled, seed=seed, scrub_mode=scrub_mode,
     )
     cluster = FabCluster(ClusterConfig(
         m=m, n=n, block_size=block_size, seed=seed,
@@ -152,7 +173,8 @@ def run_scrub_run(
         cluster,
         registers=range(registers),
         config=ScrubConfig(
-            interval=scrub_interval, bricks_per_step=bricks_per_step,
+            mode=scrub_mode, interval=scrub_interval,
+            bricks_per_step=bricks_per_step, seed=seed,
         ),
     )
     if scrub_enabled:
@@ -327,6 +349,241 @@ def run_scrub_experiment(
     return experiment
 
 
+@dataclass
+class SamplingCurvePoint:
+    """One point on the detection-latency-vs-sample-rate curve."""
+
+    #: Scan budget per cycle as a fraction of the full sweep.
+    sample_rate: float
+    #: Absolute scans per cycle that fraction buys.
+    scan_budget: int
+    trials: int
+    #: Trials whose *first* cycle hit at least one corrupt pair — the
+    #: empirical per-cycle detection confidence.
+    detected_first_cycle: int
+    #: ``1 - (1 - p)^s`` at the injected corrupt fraction.
+    predicted_confidence: float
+    #: Mean cycles until the first corrupt pair was hit.
+    mean_detection_cycles: float
+    #: ``mean_detection_cycles * interval`` — sim-time detection latency.
+    mean_detection_latency: float
+    max_detection_cycles: int
+
+    @property
+    def empirical_confidence(self) -> float:
+        if self.trials == 0:
+            return 0.0
+        return self.detected_first_cycle / self.trials
+
+    def to_dict(self) -> Dict:
+        return {
+            "sample_rate": self.sample_rate,
+            "scan_budget": self.scan_budget,
+            "trials": self.trials,
+            "detected_first_cycle": self.detected_first_cycle,
+            "detection_confidence": round(self.empirical_confidence, 4),
+            "predicted_confidence": round(self.predicted_confidence, 4),
+            "mean_detection_cycles": round(self.mean_detection_cycles, 3),
+            "mean_detection_latency": round(self.mean_detection_latency, 2),
+            "max_detection_cycles": self.max_detection_cycles,
+        }
+
+
+@dataclass
+class SamplingSweepResult:
+    """Sampled-scrub economics at one fleet size.
+
+    Answers: what per-cycle detection confidence and detection latency
+    does each scan budget buy, against real corrupted stable storage?
+    The full sweep is the ``sample_rate=1.0`` point; the headline is
+    the smallest rate whose empirical confidence clears the target.
+    """
+
+    registers: int
+    bricks: int
+    total_pairs: int
+    corrupt_pairs: int
+    corrupt_fraction: float
+    target_confidence: float
+    #: Scans/cycle the confidence math prescribes at the target.
+    required_samples: int
+    interval: float
+    seed: int
+    wall_seconds: float = 0.0
+    points: List[SamplingCurvePoint] = field(default_factory=list)
+
+    def cheapest_confident_rate(self) -> Optional[float]:
+        """Smallest sample rate meeting the confidence target, if any."""
+        for point in sorted(self.points, key=lambda p: p.sample_rate):
+            if point.empirical_confidence >= self.target_confidence:
+                return point.sample_rate
+        return None
+
+    def to_dict(self) -> Dict:
+        return {
+            "registers": self.registers,
+            "bricks": self.bricks,
+            "total_pairs": self.total_pairs,
+            "corrupt_pairs": self.corrupt_pairs,
+            "corrupt_fraction": self.corrupt_fraction,
+            "target_confidence": self.target_confidence,
+            "required_samples": self.required_samples,
+            "interval": self.interval,
+            "seed": self.seed,
+            "wall_seconds": round(self.wall_seconds, 3),
+            "cheapest_confident_rate": self.cheapest_confident_rate(),
+            "curves": [point.to_dict() for point in self.points],
+        }
+
+
+def run_sampling_sweep(
+    registers: int = 1000,
+    m: int = 2,
+    n: int = 5,
+    block_size: int = 16,
+    corrupt_fraction: float = 0.01,
+    sample_rates: Sequence[float] = (0.05, 0.10, 0.25, 1.0),
+    trials: int = 32,
+    seed: int = 0,
+    interval: float = 20.0,
+    target_confidence: float = 0.95,
+    max_cycles: int = 64,
+) -> SamplingSweepResult:
+    """Detection confidence/latency vs scan budget, at fleet scale.
+
+    Builds a real cluster, populates ``registers`` stripes, injects
+    silent bit flips into ``corrupt_fraction`` of the (register, brick)
+    pair space, then for each sample rate runs seeded trials of the
+    scrub sampler's draw-and-verify cycle (the daemon's scan primitive,
+    :meth:`StableStore.verify`, against genuinely corrupted storage —
+    not a set-membership shortcut).  Per trial it records whether the
+    first cycle detected corruption (the per-cycle confidence the
+    :func:`~repro.scrub.sampler.required_samples` math predicts) and
+    how many cycles until the first hit (detection latency).
+
+    Everything derives from ``seed``; repeated calls are bit-identical.
+    """
+    result = SamplingSweepResult(
+        registers=registers,
+        bricks=n,
+        total_pairs=registers * n,
+        corrupt_pairs=max(1, round(corrupt_fraction * registers * n)),
+        corrupt_fraction=corrupt_fraction,
+        target_confidence=target_confidence,
+        required_samples=required_samples(
+            target_confidence, corrupt_fraction, registers * n
+        ),
+        interval=interval,
+        seed=seed,
+    )
+    started = time.perf_counter()
+    cluster = FabCluster(ClusterConfig(
+        m=m, n=n, block_size=block_size, seed=seed,
+        coordinator=CoordinatorConfig(gc_enabled=True),
+        metrics_history_limit=64,
+    ))
+    for register_id in range(registers):
+        stamp = (f"r{register_id}.".encode() * block_size)[:block_size]
+        cluster.register(register_id).write_stripe([stamp] * m)
+
+    rng = random.Random(seed ^ 0x5A3D1E)
+    pairs = [
+        (register_id, pid)
+        for register_id in range(registers)
+        for pid in range(1, n + 1)
+    ]
+    injector = CorruptionInjector(cluster.nodes)
+    corrupt: set = set()
+    for register_id, pid in rng.sample(pairs, result.corrupt_pairs):
+        if injector.corrupt(pid, register_id, seed=rng.randrange(1 << 16)):
+            cluster.replicas[pid].drop_mirror(register_id)
+            corrupt.add((register_id, pid))
+    result.corrupt_pairs = len(corrupt)
+
+    def pair_dirty(register_id: int, pid: int) -> bool:
+        node = cluster.nodes[pid]
+        replica = cluster.replicas[pid]
+        return not all(
+            node.stable.verify(key)
+            for key in (
+                replica._journal_key(register_id),
+                replica._log_key(register_id),
+            )
+            if key in node.stable
+        )
+
+    actual_fraction = len(corrupt) / len(pairs)
+    for rate_index, rate in enumerate(sample_rates):
+        budget = max(1, round(rate * len(pairs)))
+        detected_first = 0
+        cycle_counts: List[int] = []
+        for trial in range(trials):
+            sampler = PairSampler(
+                seed=seed * 1_000_003 + rate_index * 10_007 + trial
+            )
+            hit_cycle = max_cycles
+            for cycle in range(1, max_cycles + 1):
+                drawn = sampler.draw(pairs, budget)
+                if any(pair_dirty(r, p) for r, p in drawn):
+                    hit_cycle = cycle
+                    break
+            if hit_cycle == 1:
+                detected_first += 1
+            cycle_counts.append(hit_cycle)
+        result.points.append(SamplingCurvePoint(
+            sample_rate=rate,
+            scan_budget=budget,
+            trials=trials,
+            detected_first_cycle=detected_first,
+            predicted_confidence=detection_confidence(
+                budget, actual_fraction
+            ),
+            mean_detection_cycles=sum(cycle_counts) / len(cycle_counts),
+            mean_detection_latency=(
+                interval * sum(cycle_counts) / len(cycle_counts)
+            ),
+            max_detection_cycles=max(cycle_counts),
+        ))
+    result.wall_seconds = time.perf_counter() - started
+    return result
+
+
+def render_sampling_report(sweep: SamplingSweepResult) -> str:
+    """Human-readable sampling-economics summary."""
+    lines = [
+        "Sampled scrub — detection confidence/latency vs scan budget",
+        f"fleet: {sweep.registers} registers x {sweep.bricks} bricks = "
+        f"{sweep.total_pairs} pairs; {sweep.corrupt_pairs} corrupt "
+        f"({100 * sweep.corrupt_fraction:g}% assumed), seed {sweep.seed}",
+        f"confidence math: {sweep.required_samples} samples/cycle for "
+        f"{100 * sweep.target_confidence:g}% per-cycle detection "
+        f"({100 * sweep.required_samples / sweep.total_pairs:.1f}% of the "
+        "full sweep)",
+        "",
+        f"{'rate':>6} {'scans':>7} {'conf':>7} {'pred':>7} "
+        f"{'cycles':>7} {'latency':>8}",
+    ]
+    for point in sweep.points:
+        lines.append(
+            f"{point.sample_rate:>6g} {point.scan_budget:>7} "
+            f"{point.empirical_confidence:>7.3f} "
+            f"{point.predicted_confidence:>7.3f} "
+            f"{point.mean_detection_cycles:>7.2f} "
+            f"{point.mean_detection_latency:>8.1f}"
+        )
+    cheapest = sweep.cheapest_confident_rate()
+    lines.append("")
+    lines.append(
+        "conf = fraction of trials detecting corruption in cycle 1; "
+        "latency = mean cycles to first hit x interval"
+    )
+    lines.append(
+        f"cheapest rate at >= {100 * sweep.target_confidence:g}% "
+        f"confidence: {cheapest if cheapest is not None else 'none'}"
+    )
+    return "\n".join(lines) + "\n"
+
+
 def render_report(experiment: ScrubExperiment) -> str:
     """Human-readable experiment summary."""
     lines = [
@@ -363,5 +620,11 @@ def render_report(experiment: ScrubExperiment) -> str:
     return "\n".join(lines) + "\n"
 
 
-def to_json(experiment: ScrubExperiment) -> str:
-    return json.dumps(experiment.to_dict(), indent=2)
+def to_json(
+    experiment: ScrubExperiment,
+    sampling: Optional[SamplingSweepResult] = None,
+) -> str:
+    payload = experiment.to_dict()
+    if sampling is not None:
+        payload["sampling"] = sampling.to_dict()
+    return json.dumps(payload, indent=2)

@@ -44,7 +44,15 @@ __all__ = [
     "CampaignResult",
     "run_campaign",
     "broken_config",
+    "SCRUB_SAMPLE_THRESHOLD",
 ]
+
+#: Register count at which ``scrub_mode="auto"`` switches the campaign
+#: scrub daemon from the exhaustive sweep to the sampling scheduler.
+#: Below it a sweep cycle is only a few hundred scans and exhaustive
+#: coverage is cheap; above it the sweep is O(fleet) per cycle while
+#: the sampler's confidence-derived budget stays flat.
+SCRUB_SAMPLE_THRESHOLD = 64
 
 
 @dataclass(frozen=True)
@@ -77,6 +85,12 @@ class CampaignConfig:
         scrub_enabled / scrub_interval: run the background
             scrub-and-repair daemon during the campaign, verifying
             checksums brick-by-brick every ``scrub_interval`` sim-time.
+        scrub_mode: the daemon's scheduler — ``"sweep"``, ``"sample"``,
+            or ``"auto"`` (default: sample at or above
+            :data:`SCRUB_SAMPLE_THRESHOLD` registers, sweep below).
+            The sampler is seeded from ``seed``, so campaign
+            determinism and the corruption invariants hold unchanged
+            in every mode.
         delivery_sweeps: batch same-(time, destination) message
             deliveries into per-tick sweeps (the network fast path,
             default) or schedule one kernel event per message.  The
@@ -112,11 +126,20 @@ class CampaignConfig:
     verify_checksums: bool = True
     scrub_enabled: bool = False
     scrub_interval: float = 20.0
+    scrub_mode: str = "auto"
     delivery_sweeps: bool = True
 
     @property
     def effective_f(self) -> int:
         return (self.n - self.m) // 2 if self.f is None else self.f
+
+    @property
+    def effective_scrub_mode(self) -> str:
+        if self.scrub_mode != "auto":
+            return self.scrub_mode
+        return (
+            "sample" if self.registers >= SCRUB_SAMPLE_THRESHOLD else "sweep"
+        )
 
     @property
     def effective_max_down(self) -> int:
@@ -398,7 +421,11 @@ def run_campaign(
         daemon = ScrubDaemon(
             engine.cluster,
             registers=range(config.registers),
-            config=ScrubConfig(interval=config.scrub_interval),
+            config=ScrubConfig(
+                mode=config.effective_scrub_mode,
+                interval=config.scrub_interval,
+                seed=config.seed,
+            ),
             horizon=config.duration + config.drain,
         )
         daemon.start()

@@ -161,14 +161,30 @@ def _scrub(args: argparse.Namespace) -> int:
 def _scrub_daemon(args: argparse.Namespace) -> int:
     import pathlib
 
-    from .analysis.scrub import render_report, run_scrub_experiment, to_json
+    from .analysis.scrub import (
+        render_report,
+        render_sampling_report,
+        run_sampling_sweep,
+        run_scrub_experiment,
+        to_json,
+    )
 
     experiment = run_scrub_experiment(
         ops=args.ops,
         corrupt_rates=tuple(args.corrupt_rate),
         seed=args.seed,
+        scrub_mode=args.mode,
     )
     report = render_report(experiment)
+    sampling = None
+    if args.mode == "sample":
+        sampling = run_sampling_sweep(
+            registers=args.sample_registers,
+            sample_rates=tuple(args.sample_rates),
+            trials=args.trials,
+            seed=args.seed,
+        )
+        report += "\n" + render_sampling_report(sampling)
     print(report)
     if args.out:
         path = pathlib.Path(args.out)
@@ -178,7 +194,7 @@ def _scrub_daemon(args: argparse.Namespace) -> int:
     if args.json_out:
         path = pathlib.Path(args.json_out)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(to_json(experiment) + "\n")
+        path.write_text(to_json(experiment, sampling=sampling) + "\n")
         print(f"JSON artifact written to {path}")
     # Success = every corrupting run ended fully repaired and no client
     # read ever returned wrong data.
@@ -308,6 +324,7 @@ def _campaign(args: argparse.Namespace) -> int:
         corrupt_weight=args.corrupt_weight,
         verify_checksums=not args.no_verify_checksums,
         scrub_enabled=args.scrub,
+        scrub_mode=args.scrub_mode,
         max_clock_skew=args.max_skew,
     )
     if args.broken:
@@ -408,6 +425,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-op corruption probabilities to sweep (daemon mode)",
     )
     scrub.add_argument("--seed", type=int, default=0)
+    scrub.add_argument(
+        "--mode", choices=("sweep", "sample"), default="sweep",
+        help="daemon scheduler; 'sample' also runs the fleet-scale "
+             "detection-latency-vs-sample-rate sweep",
+    )
+    scrub.add_argument(
+        "--sample-registers", type=int, default=1000,
+        help="fleet size for the sampling sweep (sample mode)",
+    )
+    scrub.add_argument(
+        "--sample-rates", type=float, nargs="+",
+        default=[0.05, 0.10, 0.25, 1.0],
+        help="scan budgets, as fractions of the full sweep, to measure",
+    )
+    scrub.add_argument(
+        "--trials", type=int, default=32,
+        help="seeded trials per sample rate (sample mode)",
+    )
     scrub.add_argument(
         "--out", type=str, default=None,
         help="also write the report to this file (daemon mode)",
@@ -530,6 +565,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--scrub", action="store_true",
         help="run the background scrub-and-repair daemon during the "
              "campaign",
+    )
+    campaign.add_argument(
+        "--scrub-mode", choices=("auto", "sweep", "sample"), default="auto",
+        help="scrub scheduler: exhaustive sweep, confidence-driven "
+             "sampling, or auto (sample at large register counts)",
     )
     campaign.add_argument(
         "--max-skew", type=float, default=0.0,

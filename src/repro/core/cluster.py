@@ -211,6 +211,21 @@ class FabCluster:
         pid = resolved.coordinator if resolved.coordinator is not None else 1
         return StorageRegister(self.coordinators[pid], register_id)
 
+    def register_ids(self) -> list:
+        """Ids of every register with state anywhere in the cluster.
+
+        The union of every replica's :meth:`~repro.core.replica.Replica.
+        register_ids` (sorted) — volatile mirrors plus stable storage,
+        so the answer is current even right after crashes or recoveries.
+        Tools that scan "everything" (the scrub daemon, rebuilders)
+        should resolve the register set through this accessor each pass
+        instead of snapshotting it once at construction.
+        """
+        seen: set = set()
+        for replica in self.replicas.values():
+            seen.update(replica.register_ids())
+        return sorted(seen)
+
     # -- convenience ----------------------------------------------------------
 
     def live_processes(self) -> list:

@@ -28,6 +28,7 @@ from typing import Dict, Optional, Set, Tuple
 
 from ..errors import ConfigurationError, CorruptionDetected
 from ..erasure.interface import ErasureCode
+from ..sim.freeze import estimate_size
 from ..sim.node import Node
 from ..timestamps import LOW_TS, Timestamp
 from ..types import ProcessId
@@ -60,9 +61,16 @@ __all__ = ["Replica", "RegisterState"]
 _REPLY_CACHE_LIMIT = 64
 
 #: Compact a register's journal once it holds more than
-#: ``max(_JOURNAL_MIN, _JOURNAL_FACTOR * len(log))`` records.
+#: ``max(_JOURNAL_MIN, _JOURNAL_FACTOR * len(log))`` records **or**
+#: its persisted bytes exceed ``max(_JOURNAL_MIN_BYTES,
+#: _JOURNAL_FACTOR * live-state bytes)``.  The record-count bound keeps
+#: recovery replay O(log); the byte bound keeps the stable-storage
+#: footprint O(live data) — delta records carry full payload blocks, so
+#: a count-only policy let each register retain up to ``_JOURNAL_MIN``
+#: stale blocks that GC had already dropped from the live log.
 _JOURNAL_MIN = 32
 _JOURNAL_FACTOR = 4
+_JOURNAL_MIN_BYTES = 1024
 
 
 class RegisterState:
@@ -256,10 +264,29 @@ class Replica:
             stable = self.node.stable
             stable.append(key, trim_record(ts))
             threshold = max(_JOURNAL_MIN, _JOURNAL_FACTOR * len(state.log))
-            if stable.journal_len(key) > threshold:
+            if (
+                stable.journal_len(key) > threshold
+                or self._journal_oversized(key, state)
+            ):
                 stable.reset_journal(key, (snapshot_record(state.log),))
         else:
             self._store_log(register_id, state)
+
+    def _journal_oversized(self, key: str, state: RegisterState) -> bool:
+        """True when the journal's bytes dwarf the live state it encodes.
+
+        Appended delta records keep their full payload blocks even
+        after GC has trimmed those entries from the live log, so record
+        count alone does not bound the persisted footprint.  Measuring
+        against a fresh snapshot's size (cheap: the live log is O(1)
+        entries whenever trims are flowing) restores the GC guarantee
+        that stable storage is O(live data).
+        """
+        journal_bytes = self.node.stable.size_of(key)
+        if journal_bytes <= _JOURNAL_MIN_BYTES:
+            return False
+        live_bytes = estimate_size(snapshot_record(state.log))
+        return journal_bytes > _JOURNAL_FACTOR * live_bytes
 
     # -- duplicate suppression -------------------------------------------------
 

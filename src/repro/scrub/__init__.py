@@ -1,10 +1,27 @@
-"""Background scrub-and-repair: sweeping checksummed storage for rot.
+"""Background scrub-and-repair: auditing checksummed storage for rot.
 
-See :mod:`repro.scrub.daemon` for the daemon itself;
-:mod:`repro.analysis.scrub` runs the detection-latency / repair
-throughput experiments the scrub bench and CLI report.
+:mod:`repro.scrub.daemon` holds the daemon (exhaustive-sweep and
+confidence-driven sampling schedulers); :mod:`repro.scrub.sampler` the
+sampling math and queues; :mod:`repro.analysis.scrub` runs the
+detection-latency / repair-throughput experiments the scrub bench and
+CLI report.
 """
 
 from .daemon import ScrubConfig, ScrubDaemon
+from .sampler import (
+    PairSampler,
+    RepairQueue,
+    RevisitQueue,
+    detection_confidence,
+    required_samples,
+)
 
-__all__ = ["ScrubConfig", "ScrubDaemon"]
+__all__ = [
+    "ScrubConfig",
+    "ScrubDaemon",
+    "PairSampler",
+    "RepairQueue",
+    "RevisitQueue",
+    "detection_confidence",
+    "required_samples",
+]

@@ -5,18 +5,40 @@ into *detectable* corruption, and the degraded-read path routes around
 it — but only for data a client happens to read.  Latent damage in cold
 registers would otherwise sit until enough fragments rot to defeat the
 code.  The scrub daemon closes that gap: a rate-limited background
-process that sweeps every (register, brick) pair, verifies the stored
-envelope checksums brick by brick, and repairs any damage it finds by
-erasure-decoding the surviving fragments and writing the stripe back
-(the :class:`~repro.core.rebuild.Rebuilder` recovery-with-full-coverage
+process that verifies stored envelope checksums brick by brick and
+repairs any damage it finds by erasure-decoding the surviving fragments
+and writing the stripe back (the
+:class:`~repro.core.rebuild.Rebuilder` recovery-with-full-coverage
 primitive, so the repaired brick ends up holding its fragment again).
+
+Two scheduling modes (``ScrubConfig.mode``):
+
+* ``"sweep"`` — the exhaustive scheduler: every (register, brick) pair
+  in round-robin order, ``bricks_per_step`` pairs per wake-up.  Simple
+  and airtight, but O(fleet) per cycle: right for small clusters.
+* ``"sample"`` — the confidence-driven scheduler
+  (:mod:`repro.scrub.sampler`): per wake-up it scans a *sample* of the
+  pair space sized so corruption at the assumed rate is detected with
+  the target confidence — a budget independent of fleet size.  A
+  prioritized revisit queue re-scans dirty / quarantined /
+  just-repaired registers ahead of cold ones, and an aging cursor
+  guarantees every live pair is still visited within a bounded number
+  of cycles.  All randomness derives from ``ScrubConfig.seed``, so
+  fixed-seed campaigns stay deterministic with sampling enabled.
+
+In both modes the register set is re-resolved from the cluster at every
+wake-up: registers created after :meth:`ScrubDaemon.start` are scrubbed,
+and registers that no longer exist stop consuming scan budget.  Repair
+write-backs flow through a budgeted queue (``max_inflight_repairs``)
+ordered by fragments-lost severity, so a detection burst cannot flood
+the protocol with rebuild traffic.
 
 Detection is an *offline* audit — it reads stable storage directly via
 :meth:`StableStore.verify`, costing no protocol messages and never
 perturbing timestamps.  Repair runs through the ordinary protocol, so
 it is linearized like any client write and safe under concurrent I/O
 (an abort just means a racing client write already re-protected the
-data; the next sweep retries).
+data; the next scan retries).
 
 All progress is reported through :class:`~repro.sim.monitor.Metrics`
 (``scrub_scans`` / ``scrub_detections`` / ``scrub_repairs`` and the
@@ -28,13 +50,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
-from ..errors import CorruptionDetected, StorageError
+from ..errors import ConfigurationError, CorruptionDetected, StorageError
 from ..types import ABORT, ProcessId
 from ..core.cluster import FabCluster
 from ..core.rebuild import Rebuilder
 from ..core.routing import DEFAULT_ROUTE, RouteOptions
+from .sampler import PairSampler, RepairQueue, RevisitQueue, required_samples
 
 __all__ = ["ScrubConfig", "ScrubDaemon"]
+
+#: Revisit priority for a just-repaired register (re-verify the
+#: write-back); detections enqueue at ``1.0 + fragments lost``, so
+#: known-dirty registers always outrank post-repair re-checks.
+_REVISIT_REPAIRED = 0.5
 
 
 @dataclass
@@ -42,34 +70,82 @@ class ScrubConfig:
     """Scrub-daemon knobs.
 
     Attributes:
+        mode: ``"sweep"`` (exhaustive round-robin) or ``"sample"``
+            (confidence-driven sampling; see module docs).
         interval: simulated time between daemon wake-ups.  Together
-            with ``bricks_per_step`` this is the rate limit: the daemon
-            verifies at most ``bricks_per_step / interval`` (register,
-            brick) pairs per unit of simulated time.
-        bricks_per_step: (register, brick) pairs verified per wake-up.
+            with the per-wake-up scan count this is the rate limit.
+        bricks_per_step: (register, brick) pairs verified per wake-up
+            in sweep mode.
         repair: issue repair write-backs for detected damage (False =
             detect-and-report only, an audit mode).
         route: where repair write-backs coordinate, with the same
             semantics as client I/O: a pinned coordinator is preferred
             while live; ``failover=False`` skips the repair entirely
-            when the pinned brick is down (the next sweep retries).
+            when the pinned brick is down (a later scan retries).
             The default unpinned route picks the first live brick.
+        seed: sampling RNG seed (sample mode); fixed seeds reproduce
+            identical scan sequences.
+        target_confidence: per-wake-up probability of detecting
+            corruption at ``assumed_corrupt_rate``, used to derive the
+            sample-mode scan budget via
+            :func:`~repro.scrub.sampler.required_samples`.
+        assumed_corrupt_rate: assumed corrupt fraction of the
+            (register, brick) pair space for the budget derivation.
+        samples_per_tick: explicit sample-mode budget override (None =
+            derive from the confidence target; the derived budget is
+            clamped to the pair-space size, so tiny clusters degenerate
+            into full sweeps).
+        revisit_fraction: share of each sample-mode wake-up reserved
+            for the prioritized revisit queue.
+        aging_fraction: share of the remaining budget drawn round-robin
+            from the aging cursor (the eventual-coverage guarantee).
+        max_inflight_repairs: concurrent repair write-back budget.
+        detected_limit: bound on retained first-detection marks (the
+            MTTR accounting map); oldest marks are evicted beyond it.
     """
 
+    mode: str = "sweep"
     interval: float = 20.0
     bricks_per_step: int = 2
     repair: bool = True
     route: Optional[RouteOptions] = None
+    seed: int = 0
+    target_confidence: float = 0.95
+    assumed_corrupt_rate: float = 0.01
+    samples_per_tick: Optional[int] = None
+    revisit_fraction: float = 0.25
+    aging_fraction: float = 0.25
+    max_inflight_repairs: int = 4
+    detected_limit: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("sweep", "sample"):
+            raise ConfigurationError(
+                f"unknown scrub mode {self.mode!r}; want 'sweep' or 'sample'"
+            )
+        if not 0.0 <= self.revisit_fraction <= 1.0:
+            raise ConfigurationError(
+                f"revisit_fraction must be in [0, 1], got "
+                f"{self.revisit_fraction}"
+            )
+        if self.detected_limit < 1:
+            raise ConfigurationError(
+                f"detected_limit must be >= 1, got {self.detected_limit}"
+            )
 
 
 class ScrubDaemon:
-    """Rate-limited background verify-and-repair sweep over a cluster.
+    """Rate-limited background verify-and-repair scheduler over a cluster.
 
     Args:
         cluster: the cluster to scrub (its metrics sink absorbs all
             scrub counters).
-        registers: register ids the sweep covers, in sweep order.
-        config: rate limit and repair policy.
+        registers: optional register-id filter.  ``None`` (recommended)
+            scrubs every register the cluster holds, re-resolved at
+            each wake-up; an explicit iterable restricts scanning to
+            those ids (still intersected with what actually exists, so
+            ids never written — or GC'd away — cost no scan budget).
+        config: scheduling mode, rate limit, and repair policy.
         horizon: simulated time after which the daemon stops itself
             (None = run until :meth:`stop`).
 
@@ -82,12 +158,14 @@ class ScrubDaemon:
     def __init__(
         self,
         cluster: FabCluster,
-        registers: Iterable[int],
+        registers: Optional[Iterable[int]] = None,
         config: Optional[ScrubConfig] = None,
         horizon: Optional[float] = None,
     ) -> None:
         self.cluster = cluster
-        self.registers = list(registers)
+        self._register_filter: Optional[Set[int]] = (
+            None if registers is None else set(registers)
+        )
         self.config = config or ScrubConfig()
         self.horizon = horizon
         self.metrics = cluster.metrics
@@ -97,15 +175,29 @@ class ScrubDaemon:
         self.repair_aborts = 0
         #: (time, pid, register_id) for every scrub-detected corruption.
         self.detections: List[Tuple[float, int, int]] = []
-        self._cursor = 0
+        #: Sweep-mode work list: the pair snapshot being drained, and
+        #: the drain position.  Re-snapshotted (from the *current*
+        #: register set) every time it empties, so sweep-completion
+        #: accounting survives register creation and deletion.
+        self._sweep_pairs: List[Tuple[int, int]] = []
+        self._sweep_pos = 0
         #: (pid, register_id) -> sim time the daemon first saw it dirty.
+        #: Bounded by ``config.detected_limit``; marks clear when a
+        #: repair lands *or a later scan verifies the pair clean* (a
+        #: client write may repair it behind the daemon's back).
         self._detected_at: Dict[Tuple[int, int], float] = {}
-        self._repair_inflight: Set[int] = set()
+        self._sampler = PairSampler(
+            seed=self.config.seed, aging_fraction=self.config.aging_fraction
+        )
+        self._revisit = RevisitQueue()
+        self._repairs = RepairQueue(
+            max_inflight=self.config.max_inflight_repairs
+        )
 
     # -- lifecycle -----------------------------------------------------------
 
     def start(self) -> None:
-        """Begin the background sweep (idempotent)."""
+        """Begin the background scan (idempotent)."""
         if self.running:
             return
         self.running = True
@@ -127,27 +219,99 @@ class ScrubDaemon:
         ):
             self.stop()
             return
-        for _ in range(self.config.bricks_per_step):
-            self._scan_next()
+        if self.config.mode == "sample":
+            self._sample_step()
+        else:
+            for _ in range(self.config.bricks_per_step):
+                self._scan_next()
+        self._pump_repairs()
         self._arm_timer()
 
-    # -- scanning ------------------------------------------------------------
+    # -- the register/pair universe -----------------------------------------
 
-    def _pairs(self) -> int:
-        return len(self.registers) * self.cluster.config.n
+    @property
+    def registers(self) -> List[int]:
+        """The registers currently subject to scrubbing (sorted).
+
+        Resolved live from the cluster — never a stale construction
+        snapshot — intersected with the optional id filter.
+        """
+        ids = self.cluster.register_ids()
+        if self._register_filter is not None:
+            ids = [r for r in ids if r in self._register_filter]
+        return ids
+
+    def _live_pairs(self) -> List[Tuple[int, int]]:
+        n = self.cluster.config.n
+        return [
+            (register_id, pid)
+            for register_id in self.registers
+            for pid in range(1, n + 1)
+        ]
+
+    # -- sweep-mode scanning -------------------------------------------------
 
     def _scan_next(self) -> None:
         """Verify the next (register, brick) pair in round-robin order."""
-        total = self._pairs()
-        if total == 0:
-            return
-        index = self._cursor % total
-        self._cursor += 1
-        if self._cursor % total == 0:
-            self.sweeps_completed += 1
-        register_id = self.registers[index // self.cluster.config.n]
-        pid = 1 + index % self.cluster.config.n
+        if self._sweep_pos >= len(self._sweep_pairs):
+            # Drained (or first run): count the completed pass and take
+            # a fresh snapshot of the *current* pair space.
+            if self._sweep_pairs:
+                self.sweeps_completed += 1
+            self._sweep_pairs = self._live_pairs()
+            self._sweep_pos = 0
+            if not self._sweep_pairs:
+                return
+        register_id, pid = self._sweep_pairs[self._sweep_pos]
+        self._sweep_pos += 1
         self._scan_one(pid, register_id)
+
+    # -- sample-mode scanning ------------------------------------------------
+
+    def _sample_budget(self, total_pairs: int) -> int:
+        if self.config.samples_per_tick is not None:
+            return max(0, min(self.config.samples_per_tick, total_pairs))
+        return required_samples(
+            self.config.target_confidence,
+            self.config.assumed_corrupt_rate,
+            total_pairs,
+        )
+
+    def _sample_step(self) -> None:
+        """One sampling wake-up: revisits first, then seeded draws."""
+        pairs = self._live_pairs()
+        if not pairs:
+            return
+        n = self.cluster.config.n
+        budget = self._sample_budget(len(pairs))
+        if budget <= 0:
+            return
+        # Priority revisits: dirty / quarantined / just-repaired
+        # registers, highest severity first.  Each revisit re-verifies
+        # the whole register (all n bricks) — damage severity is a
+        # per-register property.  A register found still dirty
+        # re-enqueues itself via the detection path, for the *next*
+        # wake-up (popped ids are deduped within this one).
+        revisit_budget = int(budget * self.config.revisit_fraction)
+        popped: List[int] = []
+        while revisit_budget >= n:
+            register_id = self._revisit.pop()
+            if register_id is None or register_id in popped:
+                break
+            popped.append(register_id)
+            revisit_budget -= n
+        live_registers = set(self.registers)
+        scanned = 0
+        for register_id in popped:
+            if register_id not in live_registers:
+                continue  # deleted since it was enqueued
+            for pid in range(1, n + 1):
+                self._scan_one(pid, register_id)
+                scanned += 1
+        for register_id, pid in self._sampler.draw(pairs, budget - scanned):
+            self._scan_one(pid, register_id)
+
+    # -- the scan primitive --------------------------------------------------
 
     def _scan_one(self, pid: ProcessId, register_id: int) -> None:
         node = self.cluster.nodes.get(pid)
@@ -157,18 +321,21 @@ class ScrubDaemon:
         self.metrics.count_scrub_scan()
         if register_id in replica.quarantined:
             # Client I/O found it first; our job is only the repair.
-            self._detected_at.setdefault(
-                (pid, register_id), self.cluster.transport.now()
-            )
-            self._schedule_repair(register_id)
+            self._mark_dirty(pid, register_id)
+            self._offer_repair(register_id)
             return
         if self._verify_brick(node, replica, register_id):
+            # Clean — possibly repaired by a client write since we last
+            # marked it.  Clearing here is what keeps the mark map from
+            # leaking in audit mode (repair=False never reaches
+            # ``_repair_done``).
+            self._detected_at.pop((pid, register_id), None)
             return
         # The scrubber found latent damage before any client read did.
         now = self.cluster.transport.now()
         self.metrics.count_scrub_detection()
         self.detections.append((now, pid, register_id))
-        self._detected_at.setdefault((pid, register_id), now)
+        self._mark_dirty(pid, register_id)
         # Route the quarantine transition through the standard client
         # detection path (drop the mirror, let the load fail) so the
         # accounting matches a read-triggered detection exactly.
@@ -177,7 +344,32 @@ class ScrubDaemon:
             replica.state(register_id)
         except CorruptionDetected:
             pass
-        self._schedule_repair(register_id)
+        self._offer_repair(register_id)
+
+    def _mark_dirty(self, pid: ProcessId, register_id: int) -> None:
+        self._detected_at.setdefault(
+            (pid, register_id), self.cluster.transport.now()
+        )
+        while len(self._detected_at) > self.config.detected_limit:
+            # Evict the oldest mark (dict preserves insertion order) —
+            # its repair, if any, just loses MTTR attribution.
+            self._detected_at.pop(next(iter(self._detected_at)))
+        if self.config.mode == "sample":
+            self._revisit.push(
+                register_id, 1.0 + self._fragments_lost(register_id)
+            )
+
+    def _fragments_lost(self, register_id: int) -> int:
+        """Bricks whose copy of the register is known dirty."""
+        quarantined = sum(
+            1
+            for replica in self.cluster.replicas.values()
+            if register_id in replica.quarantined
+        )
+        marked = sum(
+            1 for _pid, marked_id in self._detected_at if marked_id == register_id
+        )
+        return max(quarantined, marked)
 
     @staticmethod
     def _verify_brick(node, replica, register_id: int) -> bool:
@@ -193,20 +385,39 @@ class ScrubDaemon:
 
     # -- repair --------------------------------------------------------------
 
-    def _schedule_repair(self, register_id: int) -> None:
-        if not self.config.repair or register_id in self._repair_inflight:
+    def _offer_repair(self, register_id: int) -> None:
+        if not self.config.repair:
             return
+        self._repairs.offer(register_id, self._fragments_lost(register_id))
+        self._pump_repairs()
+
+    def _pump_repairs(self) -> None:
+        """Admit queued repairs up to the concurrency budget."""
+        if not self.config.repair:
+            return
+        while True:
+            register_id = self._repairs.next_ready()
+            if register_id is None:
+                return
+            if not self._start_repair(register_id):
+                # Could not start (no live coordinator, pinned route
+                # down, crash race): release the slot and stand down —
+                # the register stays dirty, so a later scan re-offers.
+                self._repairs.finished(register_id)
+                return
+
+    def _start_repair(self, register_id: int) -> bool:
         live = self.cluster.live_processes()
         if not live:
-            return
+            return False
         # Repairs follow the same routing policy as client I/O: honor a
         # pinned coordinator while it is live, and fail over (or, with
-        # failover disabled, stand down until the next sweep) when not.
+        # failover disabled, stand down until a later scan) when not.
         route = self.config.route or DEFAULT_ROUTE
         coordinator_pid = route.coordinator
         if coordinator_pid is None or coordinator_pid not in live:
             if coordinator_pid is not None and not route.failover:
-                return
+                return False
             coordinator_pid = live[0]
         coordinator = self.cluster.coordinators[coordinator_pid]
         generator = Rebuilder._recover_everywhere(
@@ -216,18 +427,19 @@ class ScrubDaemon:
             process = self.cluster.nodes[coordinator_pid].spawn(generator)
         except StorageError:
             generator.close()
-            return
-        self._repair_inflight.add(register_id)
+            return False
         process._add_callback(
             lambda event, r=register_id: self._repair_done(r, event)
         )
+        return True
 
     def _repair_done(self, register_id: int, event) -> None:
-        self._repair_inflight.discard(register_id)
+        self._repairs.finished(register_id)
         if not event.ok or event.value is ABORT:
             # Lost a race (or the coordinator crashed): the quarantine
-            # persists, so the next sweep simply retries.
+            # persists, so a later scan simply retries.
             self.repair_aborts += 1
+            self._pump_repairs()
             return
         self.repairs_done += 1
         marks = [k for k in self._detected_at if k[1] == register_id]
@@ -240,26 +452,43 @@ class ScrubDaemon:
         self.metrics.count_scrub_repair(
             self.cluster.transport.now() - detected
         )
+        if self.config.mode == "sample":
+            # Re-verify the write-back ahead of cold registers.
+            self._revisit.push(register_id, _REVISIT_REPAIRED)
+        self._pump_repairs()
 
     # -- synchronous use ------------------------------------------------------
 
     def sweep_now(self) -> int:
         """One full verification pass, right now; returns pairs scanned.
 
+        Scans a fresh snapshot of the current pair space regardless of
+        mode (the point of the synchronous form is *complete* coverage).
         Repairs found along the way are *scheduled* (they run through
         the protocol); advance the simulation to let them complete.
         """
-        total = self._pairs()
-        for _ in range(total):
-            self._scan_next()
-        return total
+        pairs = self._live_pairs()
+        for register_id, pid in pairs:
+            self._scan_one(pid, register_id)
+        if pairs:
+            self.sweeps_completed += 1
+        # Restart any in-progress timer sweep from a fresh snapshot —
+        # everything current was just covered.
+        self._sweep_pairs = []
+        self._sweep_pos = 0
+        self._pump_repairs()
+        return len(pairs)
 
     def summary(self) -> Dict[str, float]:
         """Daemon-local progress counters (metrics hold the totals)."""
         return {
+            "mode": self.config.mode,
             "sweeps_completed": self.sweeps_completed,
             "detections": len(self.detections),
             "repairs_done": self.repairs_done,
             "repair_aborts": self.repair_aborts,
-            "pending_repairs": len(self._repair_inflight),
+            "pending_repairs": self._repairs.inflight,
+            "queued_repairs": self._repairs.queued,
+            "revisit_queue": len(self._revisit),
+            "tracked_marks": len(self._detected_at),
         }

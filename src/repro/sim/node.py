@@ -358,6 +358,15 @@ class StableStore:
         """Approximate persisted size, maintained incrementally."""
         return self._size_bytes
 
+    def size_of(self, key: str) -> int:
+        """Approximate persisted size of one key (0 if absent).
+
+        The per-key share of :meth:`size_bytes` — what journal
+        compaction policies consult to keep persisted bytes O(live
+        state) instead of O(records since the last snapshot).
+        """
+        return self._sizes.get(key, 0)
+
 
 class Node(Endpoint):
     """A brick: transport endpoint + stable storage + crash lifecycle.

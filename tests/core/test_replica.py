@@ -302,6 +302,70 @@ class TestGcHandler:
         assert len(h.replica.state(0).log) == 1
 
 
+class TestJournalByteBudget:
+    """GC keeps the persisted journal O(live data), not O(records).
+
+    Regression: count-only compaction (> max(32, 4*len(log)) records)
+    let each register's journal retain up to 32 stale delta records —
+    full payload blocks included — that GC had already trimmed from the
+    live log, quintupling the GC-on stable-storage footprint (the
+    ``test_bench_gc`` assertion).  ``Replica._journal_oversized`` adds
+    the byte budget: compact once the journal's persisted bytes exceed
+    max(_JOURNAL_MIN_BYTES, _JOURNAL_FACTOR * live-state bytes).
+    """
+
+    def test_journal_bytes_bounded_by_live_state(self):
+        from repro.core.replica import _JOURNAL_FACTOR, _JOURNAL_MIN_BYTES
+
+        h = Harness()
+        block = b"x" * 512  # one append record dwarfs the byte budget
+        key = h.replica._journal_key(0)
+        for t in range(1, 31):
+            h.send(WriteReq(
+                register_id=0, request_id=t, block=block, ts=ts(t)
+            ))
+            h.send(GcReq(register_id=0, request_id=100 + t, ts=ts(t)))
+            # The live log holds one entry (~one block); the journal
+            # must never hold bytes for more than a handful of them,
+            # no matter how many writes have flowed.
+            assert h.node.stable.size_of(key) <= max(
+                _JOURNAL_MIN_BYTES, (_JOURNAL_FACTOR + 1) * (512 + 128)
+            )
+        # And the compacted journal still recovers the right state.
+        h.node.crash()
+        h.node.recover()
+        state = h.replica.state(0)
+        assert len(state.log) == 1
+        assert state.log.max_block() == (ts(30), block)
+
+    def test_byte_floor_amortizes_compaction(self):
+        # Small journals stay under the byte floor, so compaction is
+        # amortized: the journal accumulates several delta records
+        # before one compaction rewrite, rather than rewriting on
+        # every trim (which would defeat the point of journaling).
+        from repro.core.replica import _JOURNAL_MIN_BYTES
+
+        h = Harness()
+        key = h.replica._journal_key(0)
+        lengths = []
+        for t in range(1, 9):
+            h.send(WriteReq(
+                register_id=0, request_id=t, block=bytes([t]), ts=ts(t)
+            ))
+            h.send(GcReq(register_id=0, request_id=100 + t, ts=ts(t)))
+            lengths.append(h.node.stable.journal_len(key))
+        # The journal grew past a single record between compactions...
+        assert max(lengths) >= 4
+        # ...and its final size respects the byte floor plus at most
+        # one uncompacted record's slack.
+        assert h.node.stable.size_of(key) <= _JOURNAL_MIN_BYTES + 512
+        # A compaction did eventually fire (length dropped).
+        assert any(
+            later < earlier
+            for earlier, later in zip(lengths, lengths[1:])
+        )
+
+
 class TestDuplicateSuppression:
     def test_duplicate_request_gets_cached_reply(self):
         h = Harness()
