@@ -12,6 +12,7 @@ Regenerates the paper's artifacts without going through pytest::
     python -m repro.cli pipeline               # pipelined session throughput
     python -m repro.cli simcore                # simulator-core events/sec profile
     python -m repro.cli erasure-bench          # GF(2^8) kernel MiB/s per backend
+    python -m repro.cli placement              # LRC vs RS rebuild cost
     python -m repro.cli campaign --seeds 25    # randomized fault campaign
 
 Each subcommand prints the same rows the corresponding benchmark writes
@@ -304,6 +305,47 @@ def _erasure_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _placement(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from .analysis.placement import (
+        render_report,
+        run_placement_bench,
+        to_json,
+    )
+
+    result = run_placement_bench(
+        groups_list=tuple(args.groups),
+        group_size=args.group_size,
+        m=args.m,
+        spares=args.spares,
+        registers=args.registers,
+        block_size=args.block_size,
+        seed=args.seed,
+    )
+    report = render_report(result)
+    print(report)
+    json_path = pathlib.Path(args.json_out)
+    json_path.parent.mkdir(parents=True, exist_ok=True)
+    json_path.write_text(to_json(result) + "\n")
+    print(f"JSON artifact written to {json_path}")
+    if args.out:
+        path = pathlib.Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(report)
+        print(f"report written to {path}")
+    if args.min_ratio is not None:
+        ratio = result.min_fragment_ratio
+        ok = ratio >= args.min_ratio
+        verdict = "OK" if ok else "FAIL"
+        print(
+            f"minimum LRC rebuild advantage over RS across the sweep: "
+            f"{ratio:.2f}x >= {args.min_ratio:g}x ... {verdict}"
+        )
+        return 0 if ok else 1
+    return 0
+
+
 def _campaign(args: argparse.Namespace) -> int:
     import pathlib
 
@@ -528,6 +570,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the text report to this file",
     )
     erasure.set_defaults(func=_erasure_bench)
+
+    placement = subparsers.add_parser(
+        "placement",
+        help="placement-group rebuild economics: LRC group-local vs "
+             "Reed-Solomon global repair per failed brick",
+    )
+    placement.add_argument(
+        "--groups", type=int, nargs="+", default=[2, 4, 8],
+        help="placement-group counts to sweep",
+    )
+    placement.add_argument("--group-size", type=int, default=8)
+    placement.add_argument("--m", type=int, default=4)
+    placement.add_argument("--spares", type=int, default=1)
+    placement.add_argument(
+        "--registers", type=int, default=24,
+        help="registers written across the fleet before the failure",
+    )
+    placement.add_argument("--block-size", type=int, default=64)
+    placement.add_argument("--seed", type=int, default=0)
+    placement.add_argument(
+        "--min-ratio", type=float, default=None,
+        help="exit 1 unless RS reads at least this many times more "
+             "fragments than LRC at every sweep point",
+    )
+    placement.add_argument(
+        "--json", dest="json_out", type=str,
+        default="benchmarks/out/BENCH_placement.json",
+        help="path for the machine-readable JSON artifact",
+    )
+    placement.add_argument(
+        "--out", type=str, default=None,
+        help="also write the text report to this file",
+    )
+    placement.set_defaults(func=_placement)
 
     campaign = subparsers.add_parser(
         "campaign",

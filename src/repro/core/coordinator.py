@@ -381,9 +381,7 @@ class Coordinator:
 
     def _fast_read_stripe(self, register_id: int):
         """``fast-read-stripe()``: one round, no replica state change."""
-        targets = frozenset(
-            self.strategy.pick(self.quorum_system.universe, self.m)
-        )
+        targets = self._pick_read_targets()
 
         def good(replies: Dict[ProcessId, ReadReply]) -> bool:
             if len(replies) < self.quorum_system.quorum_size:
@@ -407,6 +405,22 @@ class Coordinator:
         blocks = {i: replies[i].block for i in targets}
         stripe = self._decode_stripe(blocks)
         return stripe
+
+    def _pick_read_targets(self) -> frozenset:
+        """Pick ``m`` read targets whose blocks jointly decode.
+
+        The paper's line 6 ("pick m random processes") is sound for MDS
+        codes, where every ``m``-subset decodes.  Non-MDS codes (LRC)
+        have rank-deficient ``m``-subsets — e.g. a local group's data
+        plus its own parity — so redraw until the code accepts the set,
+        falling back to the systematic data blocks, which always span.
+        """
+        universe = self.quorum_system.universe
+        for _ in range(8):
+            targets = frozenset(self.strategy.pick(universe, self.m))
+            if self.code.is_decodable(targets):
+                return targets
+        return frozenset(range(1, self.m + 1))
 
     def _fast_read_condition(
         self, replies: Dict[ProcessId, ReadReply], targets: frozenset
@@ -516,24 +530,32 @@ class Coordinator:
                     if isinstance(b, (bytes, bytearray))
                 }
                 if len(value_blocks) >= self.m:
-                    self._last_prev_degraded = degraded
-                    return self.code.decode(
-                        {i: bytes(b) for i, b in value_blocks.items()}
-                    )
-                if all(b is None for b in blocks.values()):
+                    if self.code.is_decodable(value_blocks):
+                        self._last_prev_degraded = degraded
+                        return self.code.decode(
+                            {i: bytes(b) for i, b in value_blocks.items()}
+                        )
+                    # Non-MDS code: >= m blocks that do not span the
+                    # stripe.  Treat the version as incomplete and keep
+                    # looking below, like any other short version.
+                elif all(b is None for b in blocks.values()):
                     self._last_prev_degraded = degraded
                     return None  # a complete nil write (recovery stored nil)
-                raise ProtocolInvariantError(
-                    f"version {max_ts!r} mixes nil and value blocks: "
-                    f"{sorted(blocks)}"
-                )
+                else:
+                    raise ProtocolInvariantError(
+                        f"version {max_ts!r} mixes nil and value blocks: "
+                        f"{sorted(blocks)}"
+                    )
 
     def _store_stripe(self, register_id: int, stripe, ts: Timestamp,
-                      min_count: Optional[int] = None):
+                      min_count: Optional[int] = None, prefer=None):
         """``store-stripe(stripe, ts)``: write encoded blocks to a quorum.
 
-        ``min_count`` widens the write-back beyond an m-quorum — used by
-        the rebuilder to push the value to every live brick.
+        ``min_count`` widens the write-back beyond an m-quorum, and
+        ``prefer`` is forwarded to the quorum call — the rebuilder uses
+        the pair to push the value to every *currently* live brick
+        while still terminating (quorum + grace) if a brick crashes
+        mid-write-back.
         """
         if stripe is None:
             encoded: List[Optional[Block]] = [None] * self.n
@@ -547,6 +569,7 @@ class Coordinator:
                 ts=ts,
             ),
             min_count=min_count,
+            prefer=prefer,
         )
         if replies is not None and all(
             reply.status for reply in replies.values()
@@ -785,7 +808,7 @@ class Coordinator:
         value_blocks = {
             i: b for i, b in blocks.items() if isinstance(b, (bytes, bytearray))
         }
-        if len(value_blocks) >= self.m:
+        if len(value_blocks) >= self.m and self.code.is_decodable(value_blocks):
             stripe = self.code.decode(
                 {i: bytes(b) for i, b in value_blocks.items()}
             )

@@ -49,6 +49,11 @@ class ScrubReport:
         corrupt: up bricks whose persistent state failed checksum
             verification (quarantined) — their fragment is lost until a
             repair write-back replaces it.
+        empty: up bricks holding *no* state for the register at all —
+            typically a blank replacement brick (hot spare promoted
+            after a crash).  An empty brick contributes nothing to
+            redundancy, so it counts against :attr:`fully_redundant`
+            whenever some other brick does hold the register.
     """
 
     register_id: int
@@ -57,11 +62,20 @@ class ScrubReport:
     stale: List[ProcessId] = field(default_factory=list)
     down: List[ProcessId] = field(default_factory=list)
     corrupt: List[ProcessId] = field(default_factory=list)
+    empty: List[ProcessId] = field(default_factory=list)
 
     @property
     def fully_redundant(self) -> bool:
-        """True iff every up brick reflects the newest version."""
-        return not self.stale and not self.corrupt
+        """True iff every up brick reflects the newest version.
+
+        An up-but-empty brick breaks full redundancy when the register
+        exists elsewhere: it should be holding its block and is not
+        (the bug this guards against — a freshly promoted spare passing
+        the audit and silently skipping re-protection).
+        """
+        if self.stale or self.corrupt:
+            return False
+        return not (self.empty and self.newest_ts is not None)
 
     @property
     def redundancy(self) -> int:
@@ -88,6 +102,12 @@ class Scrubber:
             node = self.cluster.nodes[pid]
             if not node.is_up:
                 report.down.append(pid)
+                continue
+            if not replica.has_register(register_id):
+                # No state at all (blank replacement brick): distinct
+                # from stale, and checked *without* materializing a
+                # phantom RegisterState on the replica.
+                report.empty.append(pid)
                 continue
             try:
                 versions[pid] = replica.state(register_id).log.max_ts()
@@ -172,23 +192,36 @@ class Rebuilder:
         if report.fully_redundant:
             return "current"
         coordinator = self.cluster.coordinators[self.coordinator_pid]
-        live = len(self.cluster.live_processes())
         process = self.cluster.nodes[self.coordinator_pid].spawn(
-            self._recover_everywhere(coordinator, register_id, live)
+            self._recover_everywhere(coordinator, register_id, self.cluster)
         )
         result = self.cluster.transport.run_until_complete(process)
         return "aborted" if result is ABORT else "repaired"
 
     @staticmethod
-    def _recover_everywhere(coordinator, register_id: int, coverage: int):
-        """Recovery whose write-back waits for ``coverage`` replies."""
+    def _recover_everywhere(coordinator, register_id: int, cluster):
+        """Recovery whose write-back reaches every live brick.
+
+        Coverage is resolved *per reply*, not snapshotted up front: the
+        write-back completes as soon as every currently-live brick has
+        replied.  A brick crashing mid-rebuild shrinks the live set, so
+        the preference predicate re-evaluates against the survivors —
+        and even if the last reply never arrives, the quorum + grace
+        fallback in the RPC layer terminates the phase.  (The old code
+        froze ``len(live_processes())`` before spawning, so a
+        mid-rebuild crash left the write-back waiting for a reply count
+        that could never be reached.)
+        """
         ts = coordinator._new_ts()
         stripe = yield from coordinator._read_prev_stripe(register_id, ts)
         if stripe is ABORT:
             return ABORT
-        min_count = max(coordinator.rpc.quorum_size, coverage)
+
+        def covered(replies) -> bool:
+            return set(cluster.live_processes()) <= set(replies)
+
         stored = yield from coordinator._store_stripe(
-            register_id, stripe, ts, min_count=min_count
+            register_id, stripe, ts, prefer=covered
         )
         return stored
 

@@ -178,6 +178,24 @@ class Replica:
         """
         self._registers.pop(register_id, None)
 
+    def has_register(self, register_id: int) -> bool:
+        """Whether any state exists for the register on this replica.
+
+        Unlike :meth:`state`, this never materializes a volatile mirror
+        — important for the scrubber, which audits every replica for
+        every register and must not fabricate empty ``RegisterState``
+        entries on bricks that simply never held the fragment (e.g. a
+        blank replacement brick).
+        """
+        if register_id in self._registers or register_id in self.quarantined:
+            return True
+        stable = self.node.stable
+        return (
+            self._log_key(register_id) in stable
+            or self._journal_key(register_id) in stable
+            or self._ord_key(register_id) in stable
+        )
+
     def ord_ts_of(self, register_id: int) -> Timestamp:
         """The register's NVRAM ``ord-ts`` straight from stable storage.
 

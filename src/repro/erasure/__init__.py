@@ -7,6 +7,8 @@ This subpackage implements the three primitives the protocol relies on —
   Reed-Solomon over GF(2^8) for any ``m <= n <= 256``;
 * :class:`~repro.erasure.parity.SingleParityCode` — XOR parity
   (RAID-5 layout, ``m = n - 1``);
+* :class:`~repro.erasure.lrc.LRCCode` — local-reconstruction code
+  (per-group XOR parity + Cauchy global parities) for rebuild locality;
 * :class:`~repro.erasure.replication.ReplicationCode` — replication as
   the degenerate ``m = 1`` erasure code, used for the paper's Figure 5
   example and the replication baselines.
@@ -23,6 +25,7 @@ from .cauchy import CauchyReedSolomonCode
 from .gf256 import GF256
 from .interface import ErasureCode
 from .kernels import available_kernels, get_kernel, register_kernel
+from .lrc import LRCCode, split_parity
 from .parity import SingleParityCode
 from .reed_solomon import ReedSolomonCode
 from .registry import available_codes, make_code
@@ -32,10 +35,12 @@ __all__ = [
     "GF256",
     "CauchyReedSolomonCode",
     "ErasureCode",
+    "LRCCode",
     "ReedSolomonCode",
     "SingleParityCode",
     "ReplicationCode",
     "make_code",
+    "split_parity",
     "available_codes",
     "available_kernels",
     "get_kernel",

@@ -14,11 +14,10 @@ Registered in the factory as ``"cauchy"``.
 
 from __future__ import annotations
 
-from collections import OrderedDict
-
 import numpy as np
 
 from ..errors import CodingError
+from .cache import BoundedLRU
 from .gf256 import GF256
 from .matrix import cauchy, identity
 from .reed_solomon import ReedSolomonCode
@@ -50,4 +49,4 @@ class CauchyReedSolomonCode(ReedSolomonCode):
         if k:
             generator[m:, :] = cauchy(k, m)
         self._generator = generator
-        self._decode_cache = OrderedDict()
+        self._decode_cache = BoundedLRU(lambda: self.DECODE_CACHE_SIZE)

@@ -17,7 +17,7 @@ numbering (process ``j`` stores block ``j``).
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Sequence
+from typing import Dict, Iterable, List, Sequence
 
 from ..errors import CodingError
 from ..types import Block
@@ -70,6 +70,17 @@ class ErasureCode(abc.ABC):
     def storage_overhead(self) -> float:
         """Raw-to-logical capacity ratio ``n / m`` (used by Figure 3)."""
         return self._n / self._m
+
+    def is_decodable(self, indices: Iterable[int]) -> bool:
+        """Whether the blocks at ``indices`` suffice to decode a stripe.
+
+        MDS codes (the default) decode from *any* ``m`` distinct valid
+        indices.  Non-MDS codes (e.g. local-reconstruction codes) have
+        rank-deficient ``m``-subsets and must override this so readers
+        can avoid fetching a useless block set.
+        """
+        valid = {index for index in indices if 1 <= index <= self._n}
+        return len(valid) >= self._m
 
     # -- the three primitives ------------------------------------------
 

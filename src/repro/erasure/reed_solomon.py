@@ -18,13 +18,13 @@ hands blocks to ``kernel.matmul`` / ``kernel.addmul``, so swapping the
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from typing import Dict, List, Sequence
 
 import numpy as np
 
 from ..errors import CodingError
 from ..types import Block
+from .cache import BoundedLRU
 from .gf256 import GF256
 from .interface import ErasureCode
 from .matrix import invert, submatrix, systematic_from_vandermonde
@@ -53,7 +53,9 @@ class ReedSolomonCode(ErasureCode):
         if n > GF256.ORDER:
             raise CodingError(f"Reed-Solomon over GF(2^8) requires n <= 256, got {n}")
         self._generator = systematic_from_vandermonde(m, n)
-        self._decode_cache: "OrderedDict[frozenset, np.ndarray]" = OrderedDict()
+        self._decode_cache: BoundedLRU[frozenset, np.ndarray] = BoundedLRU(
+            lambda: self.DECODE_CACHE_SIZE
+        )
 
     @property
     def generator_matrix(self) -> np.ndarray:
@@ -89,18 +91,11 @@ class ReedSolomonCode(ErasureCode):
         )
 
     def _decode_matrix(self, survivor_set: frozenset) -> np.ndarray:
-        cache = self._decode_cache
-        cached = cache.get(survivor_set)
-        if cached is not None:
-            cache.move_to_end(survivor_set)
-            return cached
-        rows = [index - 1 for index in sorted(survivor_set)]
-        square = submatrix(self._generator, rows)
-        decode_matrix = invert(square)
-        cache[survivor_set] = decode_matrix
-        if len(cache) > self.DECODE_CACHE_SIZE:
-            cache.popitem(last=False)
-        return decode_matrix
+        def build() -> np.ndarray:
+            rows = [index - 1 for index in sorted(survivor_set)]
+            return invert(submatrix(self._generator, rows))
+
+        return self._decode_cache.get_or_compute(survivor_set, build)
 
     def modify(
         self, i: int, j: int, old_data: Block, new_data: Block, old_parity: Block

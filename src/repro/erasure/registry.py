@@ -13,6 +13,7 @@ from typing import Dict, List, Type
 from ..errors import ConfigurationError
 from .cauchy import CauchyReedSolomonCode
 from .interface import ErasureCode
+from .lrc import LRCCode
 from .parity import SingleParityCode
 from .reed_solomon import ReedSolomonCode
 from .replication import ReplicationCode
@@ -22,6 +23,7 @@ __all__ = ["make_code", "available_codes", "register_code"]
 _REGISTRY: Dict[str, Type[ErasureCode]] = {
     "reed-solomon": ReedSolomonCode,
     "cauchy": CauchyReedSolomonCode,
+    "lrc": LRCCode,
     "parity": SingleParityCode,
     "replication": ReplicationCode,
 }

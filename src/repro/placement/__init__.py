@@ -1,0 +1,38 @@
+"""Fleet-scale placement: groups, sharding, and hot-spare rebuild.
+
+ROADMAP open item 1: shard registers across placement groups (each an
+independent m-quorum over a subset of bricks), run a local-
+reconstruction code inside each group, and close the reliability loop
+with hot-spare promotion and group-local rebuild.
+
+* :class:`~repro.placement.groups.PlacementMap` — deterministic
+  brick-to-group and register-to-group assignment (balanced, seeded,
+  failure-domain aware).
+* :class:`~repro.placement.sharded.ShardedCluster` — one FAB cluster
+  per group, a spare pool, ``promote_spare``, and ``rebuild_brick``
+  whose LRC fragment path reads only the failed brick's local parity
+  group.
+* :mod:`repro.placement.campaign` — the fault-campaign harness run
+  over a sharded LRC fleet, proving the online invariants are
+  placement-agnostic.
+"""
+
+from .campaign import (
+    ShardedCampaignConfig,
+    ShardedCampaignResult,
+    project_schedule,
+    run_sharded_campaign,
+)
+from .groups import PlacementMap
+from .sharded import BrickRebuildReport, ShardedCluster, ShardedConfig
+
+__all__ = [
+    "PlacementMap",
+    "ShardedCluster",
+    "ShardedConfig",
+    "BrickRebuildReport",
+    "ShardedCampaignConfig",
+    "ShardedCampaignResult",
+    "project_schedule",
+    "run_sharded_campaign",
+]

@@ -26,6 +26,7 @@ from .components import BrickParams, DiskParams, brick_failure_rate
 from .markov import birth_death_mttdl, closed_form_mttdl
 from .mttdl import (
     ErasureCodedSystem,
+    LRCSystem,
     ReplicationSystem,
     StripingSystem,
     SystemModel,
@@ -42,6 +43,7 @@ __all__ = [
     "StripingSystem",
     "ReplicationSystem",
     "ErasureCodedSystem",
+    "LRCSystem",
     "OverheadPoint",
     "cheapest_replication",
     "cheapest_erasure_code",

@@ -9,6 +9,11 @@ requested logical capacity:
   data survives up to ``k - 1`` concurrent brick failures.
 * :class:`ErasureCodedSystem` — ``m``-of-``n`` erasure coding; data
   survives ``n - m`` concurrent brick failures.
+* :class:`LRCSystem` — local-reconstruction coding: ``m`` data bricks
+  in ``L`` locally-parity-protected groups plus ``g`` global parities.
+  Trades one parity's worth of tolerance against Reed-Solomon at equal
+  overhead for group-local rebuild, which shortens the repair window
+  (and the window is what MTTDL is most sensitive to).
 
 **The placement model.**  A group-level Markov chain
 (:func:`repro.reliability.markov.birth_death_mttdl`) gives the expected
@@ -57,6 +62,7 @@ __all__ = [
     "StripingSystem",
     "ReplicationSystem",
     "ErasureCodedSystem",
+    "LRCSystem",
 ]
 
 
@@ -106,6 +112,17 @@ class SystemModel(abc.ABC):
     def logical_gb_per_group(self) -> float:
         """Logical data carried by one placement segment group."""
 
+    @property
+    def repair_speedup(self) -> float:
+        """Factor by which the layout shortens single-brick repair.
+
+        The repair window scales with the bytes a rebuild must read;
+        codes with repair locality (LRC) read a fraction of the stripe
+        and finish proportionally sooner.  Default 1.0 (whole-stripe
+        repair).
+        """
+        return 1.0
+
     # -- shared machinery -------------------------------------------------
 
     @property
@@ -150,7 +167,7 @@ class SystemModel(abc.ABC):
         """System MTTDL in hours at the given logical capacity."""
         n_bricks = self.bricks_for(logical_capacity_tb)
         lam = self.brick.data_loss_rate
-        mu = 1.0 / self.brick.brick_repair_hours
+        mu = self.repair_speedup / self.brick.brick_repair_hours
         t = self.tolerated_failures
         if self.placement == "grouped" and self.group_size > 1:
             groups = max(1, math.ceil(n_bricks / self.group_size))
@@ -256,3 +273,70 @@ class ErasureCodedSystem(SystemModel):
     def logical_gb_per_group(self) -> float:
         # A stripe group of n bricks holds m segments of logical data.
         return self.m * self.segment_gb
+
+
+@dataclass(frozen=True)
+class LRCSystem(SystemModel):
+    """Local-reconstruction coding across bricks.
+
+    ``m`` data bricks are split into ``local_groups`` balanced groups,
+    each with one XOR parity; ``global_parities`` Cauchy rows cover
+    multi-failure patterns (:class:`repro.erasure.lrc.LRCCode` is the
+    executable counterpart).  The model captures the LRC trade:
+
+    * tolerance: any ``global_parities + 1`` concurrent failures (the
+      standard LRC guarantee — one loss repairs locally, the rest lean
+      on the globals), versus ``n - m`` for Reed-Solomon at the same
+      overhead;
+    * repair: a single failed brick is rebuilt from its local group —
+      ``ceil(m / L)`` reads instead of ``m`` — so the repair rate
+      scales up by :attr:`repair_speedup` and the window in which a
+      second failure can compound shrinks by the same factor.
+    """
+
+    m: int = 4
+    local_groups: int = 2
+    global_parities: int = 2
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.m < 1:
+            raise ConfigurationError(f"m must be >= 1, got {self.m}")
+        if not 1 <= self.local_groups <= self.m:
+            raise ConfigurationError(
+                f"need 1 <= local_groups <= m, got {self.local_groups}"
+            )
+        if self.global_parities < 0:
+            raise ConfigurationError(
+                f"global_parities must be >= 0, got {self.global_parities}"
+            )
+
+    @property
+    def n(self) -> int:
+        """Total bricks per stripe: data + local + global parities."""
+        return self.m + self.local_groups + self.global_parities
+
+    @property
+    def storage_overhead(self) -> float:
+        return self.n / self.m
+
+    @property
+    def tolerated_failures(self) -> int:
+        return self.global_parities + 1
+
+    @property
+    def group_size(self) -> int:
+        return self.n
+
+    @property
+    def logical_gb_per_group(self) -> float:
+        return self.m * self.segment_gb
+
+    @property
+    def local_read_cost(self) -> int:
+        """Fragments read to rebuild one lost brick (largest group)."""
+        return math.ceil(self.m / self.local_groups)
+
+    @property
+    def repair_speedup(self) -> float:
+        return self.m / self.local_read_cost

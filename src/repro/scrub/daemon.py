@@ -421,7 +421,7 @@ class ScrubDaemon:
             coordinator_pid = live[0]
         coordinator = self.cluster.coordinators[coordinator_pid]
         generator = Rebuilder._recover_everywhere(
-            coordinator, register_id, len(live)
+            coordinator, register_id, self.cluster
         )
         try:
             process = self.cluster.nodes[coordinator_pid].spawn(generator)

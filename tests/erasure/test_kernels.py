@@ -31,9 +31,19 @@ BACKENDS = ["masked", "table", "bytes"]
 CODER_GEOMETRIES = [
     ("reed-solomon", 3, 6),
     ("cauchy", 3, 6),
+    ("lrc", 4, 8),
     ("parity", 3, 4),
     ("replication", 1, 3),
 ]
+
+
+def tolerated_erasures(kind: str, m: int, n: int) -> int:
+    """Worst-case erasures every coder guarantees to decode.
+
+    MDS codes tolerate any ``n - m`` losses; the LRC is non-MDS and
+    only guarantees the campaign bound ``(n - m) // 2``.
+    """
+    return (n - m) // 2 if kind == "lrc" else n - m
 
 
 class TestRegistry:
@@ -165,7 +175,8 @@ class TestCrossBackendCoders:
             }
             reference = encodings["masked"]
             assert all(enc == reference for enc in encodings.values())
-            survivors = rng.sample(range(1, n + 1), m)
+            keep = n - tolerated_erasures(kind, m, n)
+            survivors = rng.sample(range(1, n + 1), keep)
             blocks = {i: reference[i - 1] for i in survivors}
             for backend, code in codes.items():
                 assert code.decode(blocks) == stripe, backend

@@ -1,0 +1,93 @@
+"""PlacementMap: deterministic brick-to-group and register routing."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.placement import PlacementMap
+
+
+class TestLayout:
+    def test_deterministic_under_seed(self):
+        a = PlacementMap(bricks=34, groups=4, spares=2, seed=7)
+        b = PlacementMap(bricks=34, groups=4, spares=2, seed=7)
+        assert a.members == b.members
+        assert a.spares == b.spares
+
+    def test_seed_changes_layout(self):
+        a = PlacementMap(bricks=34, groups=4, spares=2, seed=7)
+        b = PlacementMap(bricks=34, groups=4, spares=2, seed=8)
+        assert a.members != b.members
+
+    def test_groups_are_balanced_and_disjoint(self):
+        pm = PlacementMap(bricks=34, groups=4, spares=2, seed=3)
+        sizes = {len(group) for group in pm.members}
+        assert sizes == {8}
+        placed = [brick for group in pm.members for brick in group]
+        assert len(placed) == len(set(placed)) == 32
+        assert set(placed) | set(pm.spares) == set(range(1, 35))
+
+    def test_spares_hold_no_slot(self):
+        pm = PlacementMap(bricks=10, groups=2, spares=2, seed=1)
+        for spare in pm.spares:
+            assert pm.group_of_brick(spare) is None
+            with pytest.raises(ConfigurationError):
+                pm.slot_of(spare)
+
+    def test_slot_roundtrip(self):
+        pm = PlacementMap(bricks=16, groups=4, seed=5)
+        for gid, group in enumerate(pm.members):
+            for local_pid, brick in enumerate(group, start=1):
+                assert pm.slot_of(brick) == (gid, local_pid)
+                assert pm.brick_at(gid, local_pid) == brick
+
+    def test_domain_spreading(self):
+        """With domains dividing the group size evenly, every group gets
+        an equal share of each failure domain."""
+        pm = PlacementMap(bricks=16, groups=2, seed=2, domains=4)
+        for group in pm.members:
+            per_domain = [0] * 4
+            for brick in group:
+                per_domain[pm.domain_of(brick)] += 1
+            assert per_domain == [2, 2, 2, 2]
+
+    def test_invalid_configurations(self):
+        with pytest.raises(ConfigurationError):
+            PlacementMap(bricks=10, groups=3)  # 10 does not divide by 3
+        with pytest.raises(ConfigurationError):
+            PlacementMap(bricks=10, groups=2, spares=10)
+        with pytest.raises(ConfigurationError):
+            PlacementMap(bricks=0, groups=1)
+        with pytest.raises(ConfigurationError):
+            PlacementMap(bricks=10, groups=2, domains=0)
+
+
+class TestRouting:
+    def test_routing_is_deterministic(self):
+        a = PlacementMap(bricks=16, groups=4, seed=9)
+        b = PlacementMap(bricks=16, groups=4, seed=9)
+        assert all(
+            a.group_of_register(rid) == b.group_of_register(rid)
+            for rid in range(200)
+        )
+
+    def test_routing_depends_on_seed(self):
+        a = PlacementMap(bricks=16, groups=4, seed=9)
+        b = PlacementMap(bricks=16, groups=4, seed=10)
+        assert any(
+            a.group_of_register(rid) != b.group_of_register(rid)
+            for rid in range(200)
+        )
+
+    def test_routing_roughly_balances(self):
+        pm = PlacementMap(bricks=16, groups=4, seed=0)
+        counts = [0] * 4
+        for rid in range(1000):
+            counts[pm.group_of_register(rid)] += 1
+        assert min(counts) > 150  # uniform would be 250 each
+
+    def test_registers_of_group_partitions(self):
+        pm = PlacementMap(bricks=16, groups=4, seed=0)
+        ids = range(100)
+        shares = [pm.registers_of_group(ids, gid) for gid in range(4)]
+        merged = sorted(rid for share in shares for rid in share)
+        assert merged == list(ids)

@@ -6,6 +6,7 @@ from repro.errors import ConfigurationError
 from repro.reliability.components import BrickParams
 from repro.reliability.mttdl import (
     ErasureCodedSystem,
+    LRCSystem,
     ReplicationSystem,
     StripingSystem,
 )
@@ -139,3 +140,60 @@ class TestPlacementModels:
         swapped = system.with_brick(R5)
         assert swapped.brick.internal_raid == "r5"
         assert swapped.m == 5
+
+
+class TestLRCSystem:
+    def test_geometry_and_overhead(self):
+        system = LRCSystem(brick=R0, m=4, local_groups=2, global_parities=2)
+        assert system.n == 8
+        assert system.storage_overhead == 2.0
+        assert system.group_size == 8
+        assert system.tolerated_failures == 3  # g + 1
+
+    def test_repair_locality(self):
+        system = LRCSystem(brick=R0, m=4, local_groups=2, global_parities=2)
+        assert system.local_read_cost == 2  # ceil(4 / 2)
+        assert system.repair_speedup == 2.0
+        wide = LRCSystem(brick=R0, m=12, local_groups=4, global_parities=2)
+        assert wide.local_read_cost == 3
+        assert wide.repair_speedup == 4.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LRCSystem(m=0)
+        with pytest.raises(ConfigurationError):
+            LRCSystem(m=4, local_groups=5)
+        with pytest.raises(ConfigurationError):
+            LRCSystem(m=4, local_groups=2, global_parities=-1)
+
+    @pytest.mark.parametrize("capacity", [50, 500])
+    def test_faster_repair_beats_equal_tolerance_rs(self, capacity):
+        """At equal fault tolerance, the LRC's shorter repair window
+        must yield a strictly higher MTTDL than Reed-Solomon."""
+        lrc = LRCSystem(brick=R0, m=4, local_groups=2, global_parities=2)
+        rs = ErasureCodedSystem(brick=R0, m=4, n=7)  # also tolerates 3
+        assert lrc.tolerated_failures == rs.tolerated_failures
+        assert lrc.mttdl_years(capacity) > rs.mttdl_years(capacity)
+
+    @pytest.mark.parametrize("capacity", [50, 500])
+    def test_tolerance_gap_to_same_overhead_rs(self, capacity):
+        """Same overhead, one less tolerated failure: RS(4,8) should
+        out-survive LRC(4+2+2) — locality is not free."""
+        lrc = LRCSystem(brick=R0, m=4, local_groups=2, global_parities=2)
+        rs = ErasureCodedSystem(brick=R0, m=4, n=8)
+        assert lrc.storage_overhead == rs.storage_overhead
+        assert lrc.tolerated_failures == rs.tolerated_failures - 1
+        assert lrc.mttdl_years(capacity) < rs.mttdl_years(capacity)
+
+    def test_matches_executable_code_layout(self):
+        """The analytic model and LRCCode agree on the layout's cost."""
+        from repro.erasure import LRCCode
+
+        code = LRCCode(4, 8)
+        system = LRCSystem(
+            m=4,
+            local_groups=code.local_group_count,
+            global_parities=code.global_parity_count,
+        )
+        assert system.n == code.n
+        assert system.local_read_cost == code.local_group_size - 1
