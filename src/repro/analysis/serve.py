@@ -13,6 +13,19 @@ or protocol defect, not workload-induced aborts.  Clients alternate
 writes and read-backs and verify every read against the last value they
 wrote.
 
+**Chaos mode** wraps the transport in a
+:class:`~repro.transport.chaos.ChaosTransport`: a seeded
+:class:`~repro.transport.chaos.ChaosPolicy` drops / duplicates /
+corrupts frames and installs timed partitions on the *wall-clock* path,
+while sessions run with a chaos-tolerant retry policy (attempt
+timeouts, generous failover budget).  The run must still finish with
+**zero failed sessions** and a **strictly linearizable** per-client
+history — losing up to ~10% of messages merely costs latency, because
+retransmission and retry heal every injected fault.  The chaos counters
+(delivered/dropped/corrupted/…), the policy itself, and the
+linearizability verdict land in the result as first-class axes, so
+``BENCH_serve.json`` artifacts are self-describing reproducers.
+
 Results land in ``benchmarks/out/BENCH_serve.json``: ops/s plus p50/p99
 operation latency in milliseconds (one transport time unit is one
 millisecond at the default ``time_scale``).
@@ -24,14 +37,75 @@ import asyncio
 import json
 import pathlib
 import time
-from typing import Optional
+from typing import Optional, Sequence, Tuple
 
+from ..core.client import RetryPolicy
 from ..core.cluster import ClusterConfig, FabCluster
+from ..core.coordinator import CoordinatorConfig
 from ..core.volume import LogicalVolume
 from ..errors import ConfigurationError
 from ..transport.aio import AsyncioTransport
+from ..transport.chaos import (
+    ChaosPolicy,
+    ChaosTransport,
+    LinkChaos,
+    PartitionWindow,
+)
+from ..verify.linearizability import check_strict_linearizability
 
-__all__ = ["run_serve"]
+__all__ = ["run_serve", "build_chaos_policy"]
+
+#: Chaos-tolerant session policy: attempts sized for sustained ~10%
+#: loss, attempt timeouts so a coordinator stranded in a partition is
+#: abandoned (the abandoned attempt is a harmless same-value rewrite),
+#: and a failover budget wide enough to rotate past a minority group.
+CHAOS_SESSION_RETRY = RetryPolicy(
+    attempts=12,
+    backoff=4.0,
+    backoff_growth=1.5,
+    jitter=0.5,
+    attempt_timeout=400.0,
+    max_failovers=64,
+)
+
+#: Cap on one coordinator quorum phase, in transport time units (ms).
+#: Serve runs MUST bound phases: when a session abandons an attempt
+#: (attempt timeout, failover), the coordinator-side phase is still
+#: live — with ``op_timeout=None`` (the paper's model) its retransmit
+#: loop would run forever, and under chaos the leaked phases pile up
+#: until retransmission traffic starves the run.  Expiring below the
+#: session's 400 ms attempt timeout turns a stalled phase into a clean
+#: retryable abort first.
+SERVE_OP_TIMEOUT = 300.0
+
+
+def build_chaos_policy(
+    drop_rate: float = 0.0,
+    duplicate_rate: float = 0.0,
+    corrupt_rate: float = 0.0,
+    partition: Optional[Tuple[float, float, Tuple[int, ...]]] = None,
+    seed: int = 0,
+) -> ChaosPolicy:
+    """Assemble the serve-level chaos plan from CLI-shaped knobs.
+
+    ``partition`` is ``(start_ms, end_ms, group)`` — the group is cut
+    off from the rest of the cluster for that wall-clock window (one
+    transport unit is one millisecond at the default time scale).
+    """
+    return ChaosPolicy(
+        seed=seed,
+        default=LinkChaos(
+            drop=drop_rate,
+            duplicate=duplicate_rate,
+            corrupt=corrupt_rate,
+        ),
+        partitions=(
+            [PartitionWindow(
+                start=partition[0], end=partition[1],
+                group=tuple(partition[2]),
+            )] if partition is not None else []
+        ),
+    )
 
 
 def _percentile(sorted_values, q: float) -> float:
@@ -45,6 +119,29 @@ def _client_payload(client: int, op_index: int, block_size: int) -> bytes:
     return (f"c{client}.{op_index}.".encode() * block_size)[:block_size]
 
 
+def _verify_linearizable(sessions: Sequence) -> Tuple[bool, int]:
+    """Check every client's per-block history for strict linearizability.
+
+    Clients own disjoint stripes, so each session's history is a
+    complete per-register client view; the Appendix-B checker runs on
+    each block's projection.  Returns ``(all_ok, blocks_checked)``.
+    """
+    ok = True
+    blocks_checked = 0
+    for session in sessions:
+        per_block: dict = {}
+        for record in session.history():
+            if record.block_index is None:
+                continue  # full-stripe writes don't occur in this workload
+            key = (record.register_id, record.block_index)
+            per_block.setdefault(key, []).append(record)
+        for records in per_block.values():
+            blocks_checked += 1
+            if not check_strict_linearizability(records).ok:
+                ok = False
+    return ok, blocks_checked
+
+
 async def _serve(
     clients: int,
     ops_per_client: int,
@@ -54,22 +151,31 @@ async def _serve(
     block_size: int,
     max_inflight: int,
     base_port: int,
+    chaos_policy: Optional[ChaosPolicy],
 ) -> dict:
-    transport = AsyncioTransport(mode=mode, base_port=base_port)
+    inner = AsyncioTransport(mode=mode, base_port=base_port)
+    if chaos_policy is not None:
+        transport = ChaosTransport(inner, chaos_policy)
+    else:
+        transport = inner
     cluster = FabCluster(
         ClusterConfig(
-            m=m, n=n, block_size=block_size, transport="asyncio"
+            m=m, n=n, block_size=block_size, transport="asyncio",
+            coordinator=CoordinatorConfig(op_timeout=SERVE_OP_TIMEOUT),
         ),
         transport=transport,
     )
     volume = LogicalVolume(cluster, num_stripes=clients)
+    retry = CHAOS_SESSION_RETRY if chaos_policy is not None else None
     await transport.start()
     start = time.monotonic()
     try:
         sessions = []
         expected = []
         for client in range(clients):
-            session = volume.session(max_inflight=max_inflight, seed=client)
+            session = volume.session(
+                max_inflight=max_inflight, seed=client, retry=retry
+            )
             reads = []
             last_value = {}
             for op_index in range(ops_per_client):
@@ -95,8 +201,10 @@ async def _serve(
     failed_ops = 0
     latencies = []
     total_ops = 0
+    transport_retries = 0
     for session, reads in zip(sessions, expected):
         session_ok = True
+        transport_retries += session.stats.transport_retries
         for op in session.ops:
             total_ops += 1
             if not op.ok:
@@ -110,7 +218,19 @@ async def _serve(
                 session_ok = False
         if not session_ok:
             failed_sessions += 1
+    linearizable, blocks_checked = _verify_linearizable(sessions)
     latencies.sort()
+    chaos_axes = {
+        "enabled": chaos_policy is not None,
+        "linearizable": linearizable,
+        "blocks_checked": blocks_checked,
+        "transport_retries": transport_retries,
+        "reconnects": inner.reconnects,
+        "outbox_drops": sum(inner.outbox_drops.values()),
+    }
+    if chaos_policy is not None:
+        chaos_axes["policy"] = chaos_policy.to_dict()
+        chaos_axes.update(transport.stats.to_dict())
     return {
         "benchmark": "serve",
         "mode": mode,
@@ -127,6 +247,7 @@ async def _serve(
         "p99_ms": round(_percentile(latencies, 0.99), 3),
         "failed_sessions": failed_sessions,
         "failed_ops": failed_ops,
+        "chaos": chaos_axes,
     }
 
 
@@ -140,11 +261,21 @@ def run_serve(
     max_inflight: int = 4,
     base_port: int = 7420,
     json_out: Optional[str] = None,
+    chaos: bool = False,
+    drop_rate: float = 0.0,
+    duplicate_rate: float = 0.0,
+    corrupt_rate: float = 0.0,
+    partition: Optional[Tuple[float, float, Tuple[int, ...]]] = None,
+    chaos_seed: int = 0,
 ) -> dict:
     """Host a cluster on the asyncio transport and load it with clients.
 
-    Returns the result dict (also written to ``json_out`` when given).
-    ``failed_sessions`` must be zero on a healthy run.
+    With ``chaos=True`` (or any non-zero fault knob) the transport is
+    wrapped in a seeded :class:`~repro.transport.chaos.ChaosTransport`
+    and sessions run with the chaos-tolerant retry policy.  Returns the
+    result dict (also written to ``json_out`` when given).
+    ``failed_sessions`` must be zero — on healthy *and* chaos runs: the
+    protocol is expected to mask injected transport faults completely.
     """
     if clients < 1:
         raise ConfigurationError(f"clients must be >= 1, got {clients}")
@@ -152,6 +283,15 @@ def run_serve(
         raise ConfigurationError(
             f"ops per client must be >= 1, got {ops_per_client}"
         )
+    chaos = chaos or drop_rate > 0 or duplicate_rate > 0 \
+        or corrupt_rate > 0 or partition is not None
+    chaos_policy = build_chaos_policy(
+        drop_rate=drop_rate,
+        duplicate_rate=duplicate_rate,
+        corrupt_rate=corrupt_rate,
+        partition=partition,
+        seed=chaos_seed,
+    ) if chaos else None
     result = asyncio.run(
         _serve(
             clients=clients,
@@ -162,6 +302,7 @@ def run_serve(
             block_size=block_size,
             max_inflight=max_inflight,
             base_port=base_port,
+            chaos_policy=chaos_policy,
         )
     )
     if json_out is not None:

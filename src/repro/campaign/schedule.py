@@ -25,7 +25,7 @@ from __future__ import annotations
 import json
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
 
@@ -143,6 +143,50 @@ class CampaignSchedule:
             clock_skews=dict(self.clock_skews),
             seed=self.seed,
         )
+
+    def link_windows(self) -> Tuple[List[Tuple[float, float, Tuple[int, ...]]],
+                                    List[Tuple[float, float, float]]]:
+        """Project the schedule's *link-level* faults into timed windows.
+
+        Returns ``(partitions, drops)`` where each partition window is
+        ``(start, end, group)`` — the minority group cut off from the
+        rest between ``start`` and ``end`` — and each drop window is
+        ``(start, end, probability)``.  This is the bridge that lets a
+        :class:`~repro.transport.chaos.ChaosTransport` replay the same
+        failure pattern the sim campaign applied, on *any* substrate:
+        crash/recover/corrupt events stay endpoint-level (the campaign
+        applier owns those), but partitions and drop windows are pure
+        link behaviour, which is exactly what the chaos layer models.
+
+        Unclosed windows (a schedule truncated by the shrinker can lose
+        a ``heal``/``drop_stop``) are closed at the last event time, so
+        the projection always withdraws what it injects.
+        """
+        partitions: List[Tuple[float, float, Tuple[int, ...]]] = []
+        drops: List[Tuple[float, float, float]] = []
+        ordered = self.sorted_events()
+        horizon = ordered[-1].time if ordered else 0.0
+        open_partitions: List[Tuple[float, Tuple[int, ...]]] = []
+        open_drop: Optional[Tuple[float, float]] = None  # (start, prob)
+        for event in ordered:
+            if event.kind == "partition" and event.targets:
+                open_partitions.append((event.time, event.targets))
+            elif event.kind == "heal":
+                # A schedule heal heals everything.
+                for start, group in open_partitions:
+                    partitions.append((start, event.time, group))
+                open_partitions = []
+            elif event.kind == "drop_start":
+                open_drop = (event.time, event.value)
+            elif event.kind == "drop_stop" and open_drop is not None:
+                start, probability = open_drop
+                drops.append((start, event.time, probability))
+                open_drop = None
+        for start, group in open_partitions:
+            partitions.append((start, horizon, group))
+        if open_drop is not None:
+            drops.append((open_drop[0], horizon, open_drop[1]))
+        return partitions, drops
 
 
 def generate_schedule(

@@ -393,6 +393,27 @@ def _campaign(args: argparse.Namespace) -> int:
     return 0 if suite.ok else 1
 
 
+def _parse_partition(spec: Optional[str]):
+    """Parse ``start:end:p1,p2`` into a partition window tuple."""
+    if spec is None:
+        return None
+    parts = spec.split(":")
+    if len(parts) != 3:
+        raise SystemExit(
+            f"--partition wants start_ms:end_ms:pid[,pid...], got {spec!r}"
+        )
+    try:
+        start, end = float(parts[0]), float(parts[1])
+        group = tuple(int(p) for p in parts[2].split(",") if p)
+    except ValueError:
+        raise SystemExit(
+            f"--partition wants start_ms:end_ms:pid[,pid...], got {spec!r}"
+        )
+    if not group:
+        raise SystemExit("--partition needs at least one pid in the group")
+    return (start, end, group)
+
+
 def _serve(args: argparse.Namespace) -> int:
     from .analysis.serve import run_serve
 
@@ -406,6 +427,12 @@ def _serve(args: argparse.Namespace) -> int:
         max_inflight=args.inflight,
         base_port=args.port,
         json_out=args.json_out,
+        chaos=args.chaos,
+        drop_rate=args.drop_rate,
+        duplicate_rate=args.duplicate_rate,
+        corrupt_rate=args.corrupt_rate,
+        partition=_parse_partition(args.partition),
+        chaos_seed=args.chaos_seed,
     )
     print(
         f"serve[{result['mode']}]: {result['clients']} clients x "
@@ -417,8 +444,20 @@ def _serve(args: argparse.Namespace) -> int:
         f"failed sessions: {result['failed_sessions']}, "
         f"failed ops: {result['failed_ops']}"
     )
+    chaos = result["chaos"]
+    if chaos["enabled"]:
+        print(
+            f"chaos[seed={args.chaos_seed}]: "
+            f"delivered={chaos['delivered']} dropped={chaos['dropped']} "
+            f"partition_dropped={chaos['partition_dropped']} "
+            f"duplicated={chaos['duplicated']} "
+            f"corrupted={chaos['corrupted']}; "
+            f"linearizable={chaos['linearizable']} "
+            f"({chaos['blocks_checked']} blocks checked)"
+        )
     print(f"JSON artifact written to {args.json_out}")
-    return 0 if result["failed_sessions"] == 0 else 1
+    ok = result["failed_sessions"] == 0 and chaos["linearizable"]
+    return 0 if ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -698,6 +737,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", dest="json_out", type=str,
         default="benchmarks/out/BENCH_serve.json",
         help="path for the machine-readable JSON artifact",
+    )
+    serve.add_argument(
+        "--chaos", action="store_true",
+        help="wrap the transport in seeded fault injection (any non-"
+             "zero fault knob below implies this)",
+    )
+    serve.add_argument(
+        "--drop-rate", type=float, default=0.0,
+        help="per-message drop probability injected at the transport "
+             "boundary (chaos mode)",
+    )
+    serve.add_argument(
+        "--duplicate-rate", type=float, default=0.0,
+        help="per-message duplication probability (chaos mode)",
+    )
+    serve.add_argument(
+        "--corrupt-rate", type=float, default=0.0,
+        help="per-message bit-flip probability; flips are CRC-detected "
+             "and become counted drops (chaos mode)",
+    )
+    serve.add_argument(
+        "--partition", type=str, default=None,
+        help="timed partition start_ms:end_ms:pid[,pid...] cutting the "
+             "pid group off for that window (chaos mode)",
+    )
+    serve.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="seed for every chaos decision (same seed = same faults)",
     )
     serve.set_defaults(func=_serve)
 

@@ -56,6 +56,14 @@ class RetryPolicy:
             writes).  ``None`` = wait for the attempt forever.
         max_failovers: bound on coordinator rotations per operation
             (crash- or timeout-driven) before giving up.
+        transport_attempts: separate budget for *transport-level*
+            unreachability: how many times one operation may be
+            re-routed because the chosen coordinator's transport peer
+            state is ``"down"`` (connection lost, reconnect probing in
+            progress) before the operation gives up with ⊥.  Distinct
+            from ``attempts`` because a flapping link can burn routing
+            attempts far faster than protocol aborts and should not
+            starve the abort-retry budget.
     """
 
     attempts: int = 3
@@ -65,6 +73,7 @@ class RetryPolicy:
     deadline: Optional[float] = None
     attempt_timeout: Optional[float] = None
     max_failovers: int = 16
+    transport_attempts: int = 8
 
     def __post_init__(self) -> None:
         if self.attempts < 1:
@@ -81,6 +90,10 @@ class RetryPolicy:
             raise ConfigurationError("attempt_timeout must be positive when set")
         if self.max_failovers < 0:
             raise ConfigurationError("max_failovers must be >= 0")
+        if self.transport_attempts < 1:
+            raise ConfigurationError(
+                f"transport_attempts must be >= 1, got {self.transport_attempts}"
+            )
 
 
 class RetryingClient:

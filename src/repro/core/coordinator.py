@@ -360,6 +360,16 @@ class Coordinator:
         """Prefer predicate: a full quorum of non-corrupt replies."""
         return len(self._clean(replies)) >= self.quorum_system.quorum_size
 
+    def _all_replied(self, replies: Dict[ProcessId, object]) -> bool:
+        """Prefer predicate: every process replied (grace-bounded).
+
+        Used to widen a read past the first quorum: combined with the
+        default ``min_count`` the call returns once all ``n`` replicas
+        answer, or a grace period after a quorum did — so crashed
+        bricks cannot stall it.
+        """
+        return len(replies) >= len(self.quorum_system.universe)
+
     # ------------------------------------------------------------------
     # Algorithm 1 — stripe access
     # ------------------------------------------------------------------
@@ -493,8 +503,20 @@ class Coordinator:
         max_ts = HIGH_TS
         degraded = False
         self._last_prev_degraded = False
+        widen_next = False
+        widened_at: Optional[Timestamp] = None
+        # Fragments seen per version across rounds of this walk.  A
+        # replica's fragment for a given (register, version) never
+        # changes, so evidence from earlier rounds stays valid even
+        # when a later (e.g. widened) round hears a different subset
+        # of replicas.
+        evidence: Dict[Timestamp, Dict[ProcessId, Optional[Block]]] = {}
         while True:
             current_max = max_ts
+            prefer = self._clean_quorum
+            if widen_next:
+                widen_next = False
+                prefer = self._all_replied
             replies = yield from self.rpc.call(
                 lambda dst, rid: OrderReadReq(
                     register_id=register_id,
@@ -503,7 +525,7 @@ class Coordinator:
                     max_ts=current_max,
                     ts=ts,
                 ),
-                prefer=self._clean_quorum,
+                prefer=prefer,
             )
             if replies is None:
                 return ABORT
@@ -521,6 +543,10 @@ class Coordinator:
                 for i, reply in clean.items()
                 if reply.lts == max_ts
             }
+            if max_ts != LOW_TS:
+                pool = evidence.setdefault(max_ts, {})
+                pool.update(blocks)
+                blocks = dict(pool)
             if len(blocks) >= self.m:
                 if max_ts == LOW_TS:
                     self._last_prev_degraded = degraded
@@ -536,8 +562,21 @@ class Coordinator:
                             {i: bytes(b) for i, b in value_blocks.items()}
                         )
                     # Non-MDS code: >= m blocks that do not span the
-                    # stripe.  Treat the version as incomplete and keep
-                    # looking below, like any other short version.
+                    # stripe.  The version may still be *complete* —
+                    # its spanning fragments can live at replicas
+                    # outside this quorum, and once GC has trimmed
+                    # everything below it, descending would walk off
+                    # the log floor and fabricate a nil.  Re-read this
+                    # level once, waiting to hear from every replica,
+                    # before concluding the version is partial.
+                    if widened_at != max_ts:
+                        widened_at = max_ts
+                        widen_next = True
+                        max_ts = current_max
+                        continue
+                    # Still no spanning set with the whole universe
+                    # heard: a genuinely partial write; keep looking
+                    # below, like any other short version.
                 elif all(b is None for b in blocks.values()):
                     self._last_prev_degraded = degraded
                     return None  # a complete nil write (recovery stored nil)
@@ -634,15 +673,31 @@ class Coordinator:
         """``write-block(j, b)``: fast Modify path, else full recovery."""
         op = self.metrics.begin_op("write-block", self.transport.now())
         ts = self._new_ts()
-        result = yield from self._fast_write_block(register_id, j, block, ts)
+        result, modify_sent = yield from self._fast_write_block(
+            register_id, j, block, ts
+        )
         if result is not OK:
             op.path = "slow"
+            if modify_sent:
+                # The Modify may have landed at a minority before the
+                # fast path gave up (lossy links): those replicas' log
+                # top is now ``ts``, so re-ordering at the same ts would
+                # be rejected there forever.  Take a fresh timestamp so
+                # the recovery write supersedes the incomplete version
+                # instead of colliding with it.
+                ts = self._new_ts()
             result = yield from self._slow_write_block(register_id, j, block, ts)
         self.metrics.end_op(op, self.transport.now(), aborted=result is not OK)
         return result
 
     def _fast_write_block(self, register_id: int, j: int, block: Block,
                           ts: Timestamp):
+        """Optimistic incremental write; returns ``(result, modify_sent)``.
+
+        ``modify_sent`` tells the caller whether a ``Modify(ts)`` hit
+        the wire: once it has, ``ts`` may be logged at a minority of
+        replicas and an aborting caller must not reuse it.
+        """
         def got_j(replies: Dict[ProcessId, OrderReadReply]) -> bool:
             return (
                 len(replies) >= self.quorum_system.quorum_size
@@ -661,12 +716,12 @@ class Coordinator:
             prefer=got_j,
         )
         if replies is None:
-            return ABORT
+            return ABORT, False
         statuses_ok = all(reply.status for reply in replies.values())
         if not statuses_ok or j not in replies:
             for reply in replies.values():
                 self._observe(reply.lts)
-            return ABORT
+            return ABORT, False
         old_block = replies[j].block
         ts_j = replies[j].lts
         if old_block is None:
@@ -674,7 +729,7 @@ class Coordinator:
             # recovery stored nil): the incremental Modify path has
             # nothing to modify.  Abort *before* sending Modify so the
             # slow path can reuse this operation's timestamp cleanly.
-            return ABORT
+            return ABORT, False
 
         use_delta = self.config.delta_updates and isinstance(
             self.code, ReedSolomonCode
@@ -712,8 +767,8 @@ class Coordinator:
         if replies is not None and all(
             reply.status for reply in replies.values()
         ):
-            return OK
-        return ABORT
+            return OK, True
+        return ABORT, True
 
     # ------------------------------------------------------------------
     # Multi-block access (paper footnote 2: "the single-block methods

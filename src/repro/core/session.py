@@ -43,7 +43,12 @@ import random
 from collections import deque
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..errors import ConfigurationError, CorruptionDetected, StorageError
+from ..errors import (
+    ConfigurationError,
+    CorruptionDetected,
+    StorageError,
+    TerminalTransportError,
+)
 from ..sim.kernel import Event, Interrupt, Process
 from ..sim.monitor import SessionStats
 from ..types import ABORT, Block, OpKind, OpStatus, ProcessId
@@ -353,6 +358,7 @@ class VolumeSession:
                     block_index=None, value=list(op.payload),
                     t_inv=op.submitted_at, t_resp=op.finished_at,
                     status=status, coordinator=op.coordinator,
+                    register_id=op.register_id,
                 ))
                 continue
             for position, unit in enumerate(op.units):
@@ -375,6 +381,7 @@ class VolumeSession:
                     value=value, t_inv=op.submitted_at,
                     t_resp=op.finished_at, status=status,
                     coordinator=op.coordinator,
+                    register_id=op.register_id,
                 ))
         return records
 
@@ -452,19 +459,38 @@ class VolumeSession:
     ) -> Optional[ProcessId]:
         """Choose the coordinating brick for the next attempt.
 
-        Prefers the pinned coordinator while it is alive (and not the
-        brick just failed away from); otherwise rotates round-robin
-        over live bricks.  Returns ``None`` when no brick is up.
+        Health-aware: prefers the pinned coordinator while it is alive,
+        transport-reachable, and not the brick just failed away from;
+        otherwise rotates round-robin over live bricks, preferring
+        ``"up"`` peers over ``"suspect"`` ones and avoiding ``"down"``
+        peers while any alternative exists.  With at most ``f`` bricks
+        unreachable this always finds a quorum-capable route, so a
+        killed TCP listener degrades throughput rather than stalling
+        the session.  When *every* live brick is transport-down, one is
+        returned anyway — the caller charges it against the policy's
+        ``transport_attempts`` budget and backs off, which is what
+        bounds the wait for the reconnect prober.  Returns ``None``
+        only when no brick is up at all.
         """
         live = self.cluster.live_processes()
         if not live:
             return None
+        state = self.transport.peer_state
         pinned = self.route.coordinator
-        if pinned is not None and pinned in live and pinned != avoid:
+        if (
+            pinned is not None and pinned in live and pinned != avoid
+            and state(pinned) != "down"
+        ):
             return pinned
         if avoid in live and len(live) > 1:
             live = [pid for pid in live if pid != avoid]
-        pid = live[self._rr % len(live)]
+        for wanted in (("up",), ("up", "suspect")):
+            candidates = [pid for pid in live if state(pid) in wanted]
+            if candidates:
+                break
+        else:
+            candidates = live  # all transport-down: caller's budget decides
+        pid = candidates[self._rr % len(candidates)]
         self._rr += 1
         return pid
 
@@ -490,6 +516,7 @@ class VolumeSession:
         start = self.transport.now()
         delay = policy.backoff
         avoid: Optional[ProcessId] = None
+        transport_used = 0
         try:
             while True:
                 if self._past_deadline(start):
@@ -501,6 +528,28 @@ class VolumeSession:
                     # Every brick is down: wait for the failure injector
                     # (or the caller) to recover one, bounded by the
                     # deadline if the policy set one.
+                    yield self.transport.timer(max(policy.backoff, 1.0))
+                    continue
+                if self.transport.peer_state(pid) == "down":
+                    # The best available coordinator is transport-
+                    # unreachable (every live brick is).  Charge the
+                    # transport budget — separate from the abort budget,
+                    # so a flapping link cannot starve protocol retries
+                    # — back off, and let the reconnect prober work.
+                    transport_used += 1
+                    self.stats.transport_retries += 1
+                    if transport_used >= policy.transport_attempts:
+                        op.status = "timeout"
+                        op.value = ABORT
+                        op.error = StorageError(
+                            f"{op.kind}@r{op.register_id}: no transport-"
+                            f"reachable coordinator after {transport_used} "
+                            "routing attempts"
+                        )
+                        self.stats.timeouts += 1
+                        self._finish(op)
+                        return
+                    avoid = pid
                     yield self.transport.timer(max(policy.backoff, 1.0))
                     continue
                 op.attempts += 1
@@ -560,6 +609,14 @@ class VolumeSession:
                 wait = delay * (1.0 + policy.jitter * self._rng.random())
                 delay *= policy.backoff_growth
                 yield self.transport.timer(wait)
+        except TerminalTransportError as error:
+            # The substrate itself is gone (pump died / transport
+            # stopped): no retry can succeed, so finalize immediately
+            # instead of burning the backoff schedule.
+            op.status = "failed"
+            op.error = error
+            self.stats.ops_failed += 1
+            self._finish(op, completed=False)
         except Exception as error:  # defensive: never kill the pump
             op.status = "failed"
             op.error = error

@@ -80,6 +80,9 @@ class SessionStats:
         aborts_exhausted: operations that surfaced ⊥ after the retry
             policy gave up.
         failovers: coordinator rotations (crash- or timeout-driven).
+        transport_retries: re-routes forced by transport-level
+            unreachability (a chosen coordinator the transport reported
+            ``"down"``), as opposed to protocol aborts.
         timeouts: operations that exceeded their per-op deadline.
         coalesced_writes: block writes merged into wider stripe
             operations (each merge of k blocks counts k - 1).
@@ -94,6 +97,7 @@ class SessionStats:
     retries: int = 0
     aborts_exhausted: int = 0
     failovers: int = 0
+    transport_retries: int = 0
     timeouts: int = 0
     coalesced_writes: int = 0
     peak_inflight: int = 0
@@ -186,6 +190,7 @@ class Metrics:
             "retries": 0,
             "aborts_exhausted": 0,
             "failovers": 0,
+            "transport_retries": 0,
             "timeouts": 0,
             "coalesced_writes": 0,
             "peak_inflight": 0,
@@ -197,6 +202,7 @@ class Metrics:
             totals["retries"] += stats.retries
             totals["aborts_exhausted"] += stats.aborts_exhausted
             totals["failovers"] += stats.failovers
+            totals["transport_retries"] += stats.transport_retries
             totals["timeouts"] += stats.timeouts
             totals["coalesced_writes"] += stats.coalesced_writes
             totals["peak_inflight"] = max(

@@ -12,6 +12,12 @@ The FAB coordinator/replica/session code speaks only the
 * ``"asyncio-tcp"`` — same, but messages travel as length-prefixed
   JSON frames over real TCP sockets.
 
+Any substrate can additionally be wrapped in a
+:class:`~repro.transport.chaos.ChaosTransport` — seeded fault injection
+(drop/delay/duplicate/reorder/corrupt, timed partitions and drop
+windows) at the transport boundary — either explicitly or by passing
+``chaos_policy=`` to :func:`make_transport`.
+
 ``AsyncioTransport`` (and the wire codec) import lazily: the wire
 module depends on :mod:`repro.core.messages`, which would make the
 ``repro.core`` package circular if imported eagerly here.
@@ -23,6 +29,14 @@ from typing import Any, Optional
 
 from ..errors import ConfigurationError
 from .base import Endpoint, TimerHandle, Transport
+from .chaos import (
+    ChaosPolicy,
+    ChaosStats,
+    ChaosTransport,
+    DropWindow,
+    LinkChaos,
+    PartitionWindow,
+)
 from .sim import SimTransport
 
 __all__ = [
@@ -31,6 +45,12 @@ __all__ = [
     "Endpoint",
     "SimTransport",
     "AsyncioTransport",
+    "ChaosTransport",
+    "ChaosPolicy",
+    "ChaosStats",
+    "LinkChaos",
+    "PartitionWindow",
+    "DropWindow",
     "make_transport",
     "TRANSPORT_KINDS",
 ]
@@ -42,6 +62,7 @@ def make_transport(
     kind: str = "sim",
     network_config: Any = None,
     metrics: Any = None,
+    chaos_policy: Optional[ChaosPolicy] = None,
     **kwargs: Any,
 ) -> Transport:
     """Build a transport by name (the ``transport=`` knob's backend).
@@ -51,6 +72,8 @@ def make_transport(
         network_config: sim-only :class:`~repro.sim.network.
             NetworkConfig` (latency window, drops, jitter seed).
         metrics: metric sink shared with the owning cluster.
+        chaos_policy: when given, the built substrate is wrapped in a
+            :class:`ChaosTransport` applying this seeded fault plan.
         **kwargs: substrate-specific extras (e.g. ``time_scale``,
             ``host``, ``base_port`` for the asyncio substrates).
 
@@ -59,8 +82,10 @@ def make_transport(
             to a wall-clock substrate.
     """
     if kind == "sim":
-        return SimTransport(config=network_config, metrics=metrics, **kwargs)
-    if kind in ("asyncio", "asyncio-tcp"):
+        transport: Transport = SimTransport(
+            config=network_config, metrics=metrics, **kwargs
+        )
+    elif kind in ("asyncio", "asyncio-tcp"):
         if network_config is not None:
             raise ConfigurationError(
                 "network= simulation knobs apply only to transport='sim'"
@@ -68,10 +93,15 @@ def make_transport(
         from .aio import AsyncioTransport
 
         mode = "tcp" if kind == "asyncio-tcp" else "loopback"
-        return AsyncioTransport(mode=mode, metrics=metrics, **kwargs)
-    raise ConfigurationError(
-        f"unknown transport {kind!r}; valid kinds: {', '.join(TRANSPORT_KINDS)}"
-    )
+        transport = AsyncioTransport(mode=mode, metrics=metrics, **kwargs)
+    else:
+        raise ConfigurationError(
+            f"unknown transport {kind!r}; "
+            f"valid kinds: {', '.join(TRANSPORT_KINDS)}"
+        )
+    if chaos_policy is not None:
+        transport = ChaosTransport(transport, chaos_policy)
+    return transport
 
 
 def __getattr__(name: str):

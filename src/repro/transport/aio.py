@@ -17,6 +17,33 @@ Two delivery modes:
   frames (:mod:`repro.transport.wire`) over per-destination
   connections with a writer task each.
 
+The TCP path has a hardened connection lifecycle:
+
+* **Reconnect with backoff**: each destination's writer task is a
+  supervisor loop — a failed connect or a connection lost mid-write is
+  retried with capped exponential backoff and *full jitter*
+  (``delay = uniform(0, min(cap, base * 2^attempt))``), so a restarted
+  brick is re-adopted without a thundering herd.  Connects and drains
+  are bounded by ``connect_timeout_s`` / ``write_timeout_s``.
+* **Bounded outboxes**: per-destination queues hold at most
+  ``outbox_limit`` frames; overflow while a peer is unreachable is
+  *dropped and counted* (``outbox_drops``), never silently buffered
+  forever — fire-and-forget semantics with honest accounting.
+* **Peer health**: ``up → suspect → down`` per destination.  The first
+  delivery failure marks a peer suspect; ``down_after`` consecutive
+  failed connection attempts mark it down; any successful connect
+  snaps it back to up.  The backoff loop doubles as the probe timer —
+  a down peer keeps being probed at the capped interval while the
+  transport runs.  :meth:`peer_state` exposes the verdict through the
+  :class:`~repro.transport.base.Transport` surface for health-aware
+  routing.
+
+A died pump (a protocol invariant violation, or a bug) is surfaced
+*promptly*: ``send`` / ``set_timer`` / ``timer`` / ``spawn`` / ``stop``
+raise :class:`~repro.errors.TerminalTransportError` once the pump is
+dead, and ``wait_for`` re-raises the original error — no caller is left
+hanging on a transport that will never make progress again.
+
 Timers use the same tolerances as the sim (retransmit 8 units, grace
 2 units → 8 ms / 2 ms of wall clock): generous on loopback, and the
 replica reply cache absorbs any duplicate deliveries that early
@@ -29,10 +56,15 @@ raise: wall-clock time cannot be "run"; use ``await start()`` /
 
 from __future__ import annotations
 
+import random
 import time
 from typing import Any, Callable, Dict, List, Optional
 
-from ..errors import ConfigurationError, SimulationError
+from ..errors import (
+    ConfigurationError,
+    SimulationError,
+    TerminalTransportError,
+)
 from ..types import ProcessId
 from ..sim.kernel import Environment, Event, Timeout
 from ..sim.network import Message
@@ -46,6 +78,8 @@ _MODES = ("loopback", "tcp")
 _IDLE_POLL_S = 0.25
 #: Cooperative-yield granularity while draining a busy queue.
 _STEPS_PER_YIELD = 200
+#: How long ``stop()`` waits for writer tasks to drain before cancelling.
+_DRAIN_TIMEOUT_S = 2.0
 
 
 class AsyncioTransport(Transport):
@@ -60,6 +94,19 @@ class AsyncioTransport(Transport):
         base_port: process ``pid`` listens on ``base_port + pid - 1``.
         metrics: optional metric sink (message/drop counting), shared
             with the cluster when one adopts this transport.
+        outbox_limit: max frames queued per unreachable destination;
+            overflow is dropped and counted (``outbox_drops``).
+        reconnect_base_s / reconnect_cap_s: exponential-backoff window
+            for reconnect attempts (full jitter: the actual sleep is
+            uniform in ``[0, min(cap, base * 2^attempt)]``).
+        connect_timeout_s / write_timeout_s: deadlines on one connect
+            attempt and on draining one frame.
+        down_after: consecutive failed connection attempts before a
+            ``suspect`` peer is declared ``down``.
+        reconnect_seed: seed for the backoff-jitter RNG (full jitter is
+            load-shedding randomness, not protocol randomness, but a
+            seed keeps even the chaos harness reproducible in
+            aggregate).
     """
 
     def __init__(
@@ -69,6 +116,13 @@ class AsyncioTransport(Transport):
         host: str = "127.0.0.1",
         base_port: int = 7420,
         metrics: Any = None,
+        outbox_limit: int = 1024,
+        reconnect_base_s: float = 0.05,
+        reconnect_cap_s: float = 1.0,
+        connect_timeout_s: float = 2.0,
+        write_timeout_s: float = 2.0,
+        down_after: int = 3,
+        reconnect_seed: int = 0,
     ) -> None:
         if mode not in _MODES:
             raise ConfigurationError(
@@ -76,11 +130,33 @@ class AsyncioTransport(Transport):
             )
         if time_scale <= 0:
             raise ConfigurationError("time_scale must be positive")
+        if outbox_limit < 1:
+            raise ConfigurationError(
+                f"outbox_limit must be >= 1, got {outbox_limit}"
+            )
+        if reconnect_base_s <= 0 or reconnect_cap_s < reconnect_base_s:
+            raise ConfigurationError(
+                "need 0 < reconnect_base_s <= reconnect_cap_s"
+            )
+        if connect_timeout_s <= 0 or write_timeout_s <= 0:
+            raise ConfigurationError(
+                "connect/write timeouts must be positive"
+            )
+        if down_after < 1:
+            raise ConfigurationError(
+                f"down_after must be >= 1, got {down_after}"
+            )
         self.mode = mode
         self.time_scale = time_scale
         self.host = host
         self.base_port = base_port
         self.metrics = metrics
+        self.outbox_limit = outbox_limit
+        self.reconnect_base_s = reconnect_base_s
+        self.reconnect_cap_s = reconnect_cap_s
+        self.connect_timeout_s = connect_timeout_s
+        self.write_timeout_s = write_timeout_s
+        self.down_after = down_after
         self.env = Environment()
         self._endpoints: Dict[ProcessId, Callable[[Any], None]] = {}
         self._down: Dict[ProcessId, bool] = {}
@@ -89,10 +165,20 @@ class AsyncioTransport(Transport):
         self._pump_task = None
         self._pump_error: Optional[BaseException] = None
         self._wake = None  # asyncio.Event, created on the running loop
-        self._servers: List[Any] = []
+        self._servers: Dict[ProcessId, Any] = {}
         self._conn_writers: List[Any] = []
         self._outboxes: Dict[ProcessId, Any] = {}
         self._writer_tasks: Dict[ProcessId, Any] = {}
+        self._backoff_rng = random.Random(reconnect_seed)
+        #: Peer health machine state (tcp mode): pid -> up/suspect/down.
+        self._peer_health: Dict[ProcessId, str] = {}
+        self._peer_failures: Dict[ProcessId, int] = {}
+        #: Successful re-connections after at least one failure.
+        self.reconnects = 0
+        #: Health-state transitions (up->suspect, suspect->down, ->up).
+        self.peer_transitions = 0
+        #: Frames dropped per destination (outbox overflow + lost writes).
+        self.outbox_drops: Dict[ProcessId, int] = {}
 
     # -- clock -------------------------------------------------------------
 
@@ -130,11 +216,28 @@ class AsyncioTransport(Transport):
         wall = self._wall_units()
         return wall if wall > self.env._now else self.env.now
 
+    # -- pump-death surfacing ----------------------------------------------
+
+    def _raise_if_pump_dead(self) -> None:
+        """Fail fast once the pump has died.
+
+        A dead pump means no timer will ever fire and no queued message
+        will ever be dispatched; letting callers keep scheduling work
+        against it turns a crash into a silent hang.  Callers sitting
+        in :meth:`wait_for` get the original exception; everyone else
+        gets it chained under a :class:`TerminalTransportError` here.
+        """
+        if self._pump_error is not None:
+            raise TerminalTransportError(
+                f"transport pump died: {self._pump_error!r}"
+            ) from self._pump_error
+
     # -- scheduling overrides (stamp against the advanced clock) -----------
 
     def set_timer(
         self, delay: float, callback: Callable[[], None]
     ) -> TimerHandle:
+        self._raise_if_pump_dead()
         self._advance_clock()
         handle = TimerHandle(callback)
         timer = Timeout(self.env, delay)
@@ -143,12 +246,14 @@ class AsyncioTransport(Transport):
         return handle
 
     def timer(self, delay: float, value: Any = None) -> Timeout:
+        self._raise_if_pump_dead()
         self._advance_clock()
         timeout = Timeout(self.env, delay, value)
         self._kick()
         return timeout
 
     def spawn(self, generator):
+        self._raise_if_pump_dead()
         self._advance_clock()
         return super().spawn(generator)
 
@@ -169,15 +274,38 @@ class AsyncioTransport(Transport):
         self._down[process_id] = False
 
     def unregister(self, process_id: ProcessId) -> None:
+        """Detach an endpoint and reap its connection state.
+
+        The peer's outbox (remaining frames counted as drops), writer
+        task, and health record all go with it — a long-lived transport
+        that churns endpoints stays bounded.
+        """
         self._endpoints.pop(process_id, None)
         self._down.pop(process_id, None)
+        self._peer_health.pop(process_id, None)
+        self._peer_failures.pop(process_id, None)
+        outbox = self._outboxes.pop(process_id, None)
+        if outbox is not None:
+            while not outbox.empty():
+                if outbox.get_nowait() is not None:
+                    self._count_frame_drop(process_id)
+        task = self._writer_tasks.pop(process_id, None)
+        if task is not None and not task.done():
+            task.cancel()
 
     def set_down(self, process_id: ProcessId, down: bool) -> None:
         self._down[process_id] = down
 
+    def peer_state(self, process_id: ProcessId) -> str:
+        """Health verdict: the crash marker wins, then the tcp machine."""
+        if self._down.get(process_id, False):
+            return "down"
+        return self._peer_health.get(process_id, "up")
+
     def send(
         self, src: ProcessId, dst: ProcessId, payload: Any, size: int = 0
     ) -> None:
+        self._raise_if_pump_dead()
         if self.metrics is not None:
             self.metrics.count_message(size)
         if self._down.get(src, False) or self._down.get(dst, False):
@@ -206,36 +334,118 @@ class AsyncioTransport(Transport):
 
     # -- tcp plumbing ------------------------------------------------------
 
+    def _count_frame_drop(self, dst: ProcessId) -> None:
+        """Account one frame that will never reach ``dst``."""
+        self.outbox_drops[dst] = self.outbox_drops.get(dst, 0) + 1
+        if self.metrics is not None:
+            self.metrics.count_drop()
+
     def _enqueue_frame(self, dst: ProcessId, frame: bytes) -> None:
         import asyncio
 
         outbox = self._outboxes.get(dst)
         if outbox is None:
-            outbox = asyncio.Queue()
+            outbox = asyncio.Queue(maxsize=self.outbox_limit)
             self._outboxes[dst] = outbox
             self._writer_tasks[dst] = asyncio.get_event_loop().create_task(
                 self._write_loop(dst, outbox)
             )
-        outbox.put_nowait(frame)
+        try:
+            outbox.put_nowait(frame)
+        except asyncio.QueueFull:
+            # Fire-and-forget semantics with honest books: an
+            # unreachable peer's backlog is bounded, and every frame
+            # shed past the bound is a counted drop, not a silent one.
+            self._count_frame_drop(dst)
+
+    # -- peer health machine -----------------------------------------------
+
+    def _set_peer_health(self, dst: ProcessId, state: str) -> None:
+        previous = self._peer_health.get(dst, "up")
+        if previous != state:
+            self._peer_health[dst] = state
+            self.peer_transitions += 1
+
+    def _note_peer_failure(self, dst: ProcessId) -> None:
+        failures = self._peer_failures.get(dst, 0) + 1
+        self._peer_failures[dst] = failures
+        self._set_peer_health(
+            dst, "down" if failures >= self.down_after else "suspect"
+        )
+
+    def _note_peer_up(self, dst: ProcessId) -> None:
+        had_failed = self._peer_failures.get(dst, 0) > 0
+        self._peer_failures[dst] = 0
+        if had_failed:
+            self.reconnects += 1
+        self._set_peer_health(dst, "up")
+
+    def _backoff_delay(self, attempt: int) -> float:
+        """Capped exponential backoff with full jitter.
+
+        Full jitter (uniform over ``[0, cap]`` rather than around it)
+        de-synchronizes the reconnect probes of many writers chasing
+        one restarted brick — the AWS-style herd-avoidance shape.
+        """
+        cap = min(
+            self.reconnect_cap_s,
+            self.reconnect_base_s * (2 ** max(0, attempt - 1)),
+        )
+        return cap * self._backoff_rng.random()
 
     async def _write_loop(self, dst: ProcessId, outbox) -> None:
+        """Supervise one destination: connect, drain, reconnect forever.
+
+        The pre-hardening writer died on the first ``ConnectionError``
+        while its outbox silently kept accepting frames; this loop is
+        the fix — the connection is re-established with backoff, each
+        frame lost mid-write is a *counted* drop, and the peer health
+        machine tracks every failure and recovery.  The loop exits only
+        on the stop sentinel, transport shutdown, or cancellation.
+        """
         import asyncio
 
-        writer = None
-        try:
-            port = self.base_port + dst - 1
-            _reader, writer = await asyncio.open_connection(self.host, port)
-            while True:
-                frame = await outbox.get()
-                if frame is None:
-                    break
-                writer.write(frame)
-                await writer.drain()
-        except (ConnectionError, OSError):
-            if self.metrics is not None:
-                self.metrics.count_drop()
-        finally:
-            if writer is not None:
+        attempt = 0
+        while self._running:
+            writer = None
+            try:
+                port = self.base_port + dst - 1
+                _reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(self.host, port),
+                    timeout=self.connect_timeout_s,
+                )
+            except asyncio.CancelledError:
+                raise
+            except (ConnectionError, OSError, asyncio.TimeoutError):
+                attempt += 1
+                self._note_peer_failure(dst)
+                try:
+                    await asyncio.sleep(self._backoff_delay(attempt))
+                except asyncio.CancelledError:
+                    raise
+                continue
+            self._note_peer_up(dst)
+            attempt = 0
+            try:
+                while True:
+                    frame = await outbox.get()
+                    if frame is None:
+                        return
+                    try:
+                        writer.write(frame)
+                        await asyncio.wait_for(
+                            writer.drain(), timeout=self.write_timeout_s
+                        )
+                    except asyncio.CancelledError:
+                        raise
+                    except (ConnectionError, OSError, asyncio.TimeoutError):
+                        # The in-flight frame is lost with the
+                        # connection; the supervisor loop reconnects.
+                        self._count_frame_drop(dst)
+                        attempt = 1
+                        self._note_peer_failure(dst)
+                        break
+            finally:
                 writer.close()
 
     async def _serve_connection(self, reader, writer) -> None:
@@ -256,6 +466,52 @@ class AsyncioTransport(Transport):
             except ValueError:
                 pass
             writer.close()
+
+    # -- per-brick server lifecycle (fault-injection surface) --------------
+
+    async def start_server(self, pid: ProcessId) -> None:
+        """(Re)open brick ``pid``'s listening socket (tcp mode).
+
+        The kill-a-brick chaos primitive's other half: a server stopped
+        with :meth:`stop_server` comes back here, and pending writers
+        re-adopt it through their reconnect loops.
+        """
+        import asyncio
+
+        if self.mode != "tcp":
+            raise ConfigurationError(
+                "per-brick servers exist only in tcp mode"
+            )
+        if pid in self._servers:
+            return
+        server = await asyncio.start_server(
+            self._serve_connection,
+            host=self.host,
+            port=self.base_port + pid - 1,
+        )
+        self._servers[pid] = server
+
+    async def stop_server(self, pid: ProcessId) -> None:
+        """Kill brick ``pid``'s listening socket and its accepted conns.
+
+        Models a brick's network presence dying without the protocol
+        being told (no :meth:`set_down`): subsequent frames to it pile
+        into the bounded outbox, writers reconnect with backoff, and
+        the peer health machine walks up → suspect → down.
+        """
+        import asyncio
+
+        server = self._servers.pop(pid, None)
+        if server is None:
+            return
+        server.close()
+        await server.wait_closed()
+        port = self.base_port + pid - 1
+        for writer in list(self._conn_writers):
+            sockname = writer.get_extra_info("sockname")
+            if sockname and sockname[1] == port:
+                writer.close()
+        await asyncio.sleep(0)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -282,15 +538,24 @@ class AsyncioTransport(Transport):
                     host=self.host,
                     port=self.base_port + pid - 1,
                 )
-                self._servers.append(server)
+                self._servers[pid] = server
         self._running = True
         self._pump_task = asyncio.get_event_loop().create_task(self._pump())
 
     async def stop(self) -> None:
-        """Stop the pump, drain writers, and close servers."""
+        """Stop the pump, drain writers, and close servers.
+
+        Writer tasks get :data:`_DRAIN_TIMEOUT_S` to flush their
+        outboxes gracefully; stragglers (e.g. a writer stuck in backoff
+        against a dead peer) are cancelled and their queued frames
+        counted as drops.  If the pump died, the failure is re-raised
+        (as :class:`TerminalTransportError`) *after* cleanup, so a
+        caller that never sat in ``wait_for`` still hears about it.
+        """
         import asyncio
 
         if not self._running:
+            self._raise_if_pump_dead()
             return
         self._running = False
         self._kick()
@@ -301,12 +566,26 @@ class AsyncioTransport(Transport):
                 pass
             self._pump_task = None
         for outbox in self._outboxes.values():
-            outbox.put_nowait(None)
-        for task in self._writer_tasks.values():
             try:
-                await task
-            except asyncio.CancelledError:
-                pass
+                outbox.put_nowait(None)
+            except asyncio.QueueFull:
+                pass  # the writer is saturated; it will be cancelled
+        tasks = [t for t in self._writer_tasks.values() if not t.done()]
+        if tasks:
+            _done, pending = await asyncio.wait(
+                tasks, timeout=_DRAIN_TIMEOUT_S
+            )
+            for task in pending:
+                task.cancel()
+            for task in pending:
+                try:
+                    await task
+                except (asyncio.CancelledError, Exception):
+                    pass
+        for dst, outbox in self._outboxes.items():
+            while not outbox.empty():
+                if outbox.get_nowait() is not None:
+                    self._count_frame_drop(dst)
         self._outboxes.clear()
         self._writer_tasks.clear()
         # Close accepted connections first so their reader coroutines
@@ -314,11 +593,12 @@ class AsyncioTransport(Transport):
         for writer in list(self._conn_writers):
             writer.close()
         await asyncio.sleep(0)
-        for server in self._servers:
+        for server in self._servers.values():
             server.close()
             await server.wait_closed()
         self._servers.clear()
         self._wake = None
+        self._raise_if_pump_dead()
 
     async def _pump(self) -> None:
         """Drive the kernel: execute due events, sleep until the next."""
@@ -346,7 +626,7 @@ class AsyncioTransport(Transport):
                     await asyncio.wait_for(self._wake.wait(), timeout=delay_s)
                 except asyncio.TimeoutError:
                     pass
-        except BaseException as exc:  # surfaced by wait_for / stop
+        except BaseException as exc:  # surfaced by send/set_timer/stop/wait_for
             self._pump_error = exc
 
     async def wait_for(self, event: Event) -> Any:
@@ -368,7 +648,9 @@ class AsyncioTransport(Transport):
             if self._pump_error is not None:
                 raise self._pump_error
             if not self._running:
-                raise SimulationError("transport stopped while waiting")
+                raise TerminalTransportError(
+                    "transport stopped while waiting"
+                )
             try:
                 await asyncio.wait_for(fired.wait(), timeout=_IDLE_POLL_S)
             except asyncio.TimeoutError:

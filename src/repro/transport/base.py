@@ -95,6 +95,24 @@ class Transport(ABC):
     def set_down(self, process_id: ProcessId, down: bool) -> None:
         """Mark an endpoint crashed; messages to/from it are lost."""
 
+    # -- peer health -------------------------------------------------------
+
+    def peer_state(self, process_id: ProcessId) -> str:
+        """The transport's reachability verdict for one peer.
+
+        One of ``"up"`` (reachable as far as the transport knows),
+        ``"suspect"`` (recent delivery failures; a reconnect prober is
+        working on it), or ``"down"`` (probing has given up for now, or
+        the peer is marked crashed).  Substrates without a connection
+        lifecycle report ``"up"`` for everything not explicitly marked
+        down — the sim network either delivers or fair-loses, it never
+        half-connects.
+
+        Sessions use this for health-aware routing: prefer ``"up"``
+        coordinators, tolerate ``"suspect"``, avoid ``"down"``.
+        """
+        return "up"
+
     # -- time --------------------------------------------------------------
 
     def now(self) -> float:

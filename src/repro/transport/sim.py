@@ -64,6 +64,15 @@ class SimTransport(Transport):
     def set_down(self, process_id: ProcessId, down: bool) -> None:
         self.network.set_down(process_id, down)
 
+    def peer_state(self, process_id: ProcessId) -> str:
+        """``"down"`` iff the process is marked crashed; never suspect.
+
+        The sim network has no connection lifecycle — a message either
+        arrives (after latency) or is fair-lost — so the only health
+        signal it can give is the crash marker.
+        """
+        return "down" if process_id in self.network._down else "up"
+
     # -- async bridge ------------------------------------------------------
 
     async def wait_for(self, event) -> Any:

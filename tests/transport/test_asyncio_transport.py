@@ -74,6 +74,85 @@ def test_drain_async_works_on_sim_transport():
     assert ops[1].value == data
 
 
+def test_outbox_overflow_and_unregister_account_drops():
+    """An unreachable peer's outbox is bounded: overflow is shed as
+    counted drops, and unregister reaps the backlog and health state."""
+    from repro.transport.aio import AsyncioTransport
+
+    transport = AsyncioTransport(
+        mode="tcp",
+        base_port=7771,
+        outbox_limit=4,
+        reconnect_base_s=0.01,
+        reconnect_cap_s=0.02,
+        connect_timeout_s=0.2,
+        down_after=2,
+    )
+    transport.register(1, lambda message: None)
+
+    async def drive():
+        try:
+            await transport.start()
+        except OSError as error:  # pragma: no cover - sandboxed envs
+            pytest.skip(f"cannot bind TCP ports: {error}")
+        try:
+            # Peer 9 has no listener: its writer task can never connect.
+            for _ in range(10):
+                transport.send(1, 9, "noise", size=8)
+            # 4 frames queue, 6 overflow the bounded outbox.
+            assert transport.outbox_drops[9] == 6
+            # Repeated refused connects walk the health machine down.
+            for _ in range(100):
+                if transport.peer_state(9) == "down":
+                    break
+                await asyncio.sleep(0.02)
+            assert transport.peer_state(9) == "down"
+            # Unregister drains the queued backlog as counted drops and
+            # forgets the peer's health record.
+            transport.unregister(9)
+            assert transport.outbox_drops[9] == 10
+            assert transport.peer_state(9) == "up"
+        finally:
+            await transport.stop()
+
+    asyncio.run(drive())
+
+
+def test_pump_death_surfaces_instead_of_hanging():
+    """Once the pump dies, send/set_timer/stop raise the failure as a
+    TerminalTransportError rather than silently queueing work that no
+    pump will ever dispatch."""
+    from repro.errors import TerminalTransportError
+    from repro.transport.aio import AsyncioTransport
+
+    transport = AsyncioTransport(mode="loopback")
+    transport.register(1, lambda message: None)
+
+    async def drive():
+        await transport.start()
+        transport.set_timer(0.001, _boom)
+        for _ in range(100):
+            if transport._pump_error is not None:
+                break
+            await asyncio.sleep(0.01)
+        with pytest.raises(TerminalTransportError, match="pump died"):
+            transport.send(1, 1, "late")
+        with pytest.raises(TerminalTransportError, match="pump died"):
+            transport.set_timer(1.0, lambda: None)
+        # SimulationError compatibility: protocol code catching the
+        # old taxonomy still sees the terminal failure.
+        with pytest.raises(SimulationError):
+            transport.send(1, 1, "late")
+        with pytest.raises(TerminalTransportError, match="pump died"):
+            await transport.stop()
+
+    asyncio.run(drive())
+
+
+def _boom() -> None:
+    raise RuntimeError("injected pump failure")
+
+
 def test_timer_handles_cancel_before_start():
     """Timers armed before start() fire once the pump runs; cancelled
     ones never do."""
